@@ -1,0 +1,164 @@
+//! ExplainIt-style baseline.
+//!
+//! Per the paper's description (§2.3): ExplainIt "performs pairwise
+//! correlations between metrics of the observed problem and of each
+//! candidate root cause". A candidate's score is the strongest absolute
+//! correlation between any of its metrics and the symptom metric over the
+//! recent window; ranking is by descending score. There is no topology
+//! awareness — which is exactly the weakness the paper's evaluation
+//! surfaces (correlated-but-unrelated entities become false positives).
+
+use crate::scheme::{DiagnosisScheme, SchemeContext};
+use murphy_stats::pearson;
+use murphy_telemetry::{EntityId, MetricId};
+
+/// The ExplainIt baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExplainIt {
+    /// Minimum |correlation| for a candidate to be reported at all.
+    /// 0.0 reports every candidate (maximum recall, minimum precision).
+    pub min_correlation: f64,
+}
+
+impl ExplainIt {
+    /// With the default (report-everything) threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// With a reporting threshold (used by the Table 1 calibration).
+    pub fn with_threshold(min_correlation: f64) -> Self {
+        Self { min_correlation }
+    }
+}
+
+impl DiagnosisScheme for ExplainIt {
+    fn name(&self) -> &'static str {
+        "ExplainIT"
+    }
+
+    fn diagnose(&self, ctx: &SchemeContext<'_>) -> Vec<EntityId> {
+        let window = ctx.window();
+        let default = ctx.symptom.metric.default_value();
+        let symptom_series = match ctx.db.series(ctx.symptom.metric_id()) {
+            Some(s) => s.window_mean_imputed(window.from, window.to, default, 8),
+            None => return Vec::new(),
+        };
+        let mut scored: Vec<(EntityId, f64)> = ctx
+            .candidates
+            .iter()
+            .map(|&c| {
+                let best = ctx
+                    .db
+                    .metrics_of(c)
+                    .into_iter()
+                    .map(|kind| {
+                        let series = ctx
+                            .db
+                            .series(MetricId::new(c, kind))
+                            .map(|s| s.window_mean_imputed(window.from, window.to, kind.default_value(), 8))
+                            .unwrap_or_default();
+                        pearson(&series, &symptom_series).abs()
+                    })
+                    .fold(0.0, f64::max);
+                (c, best)
+            })
+            .filter(|&(_, s)| s >= self.min_correlation)
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(e, _)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_core::Symptom;
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind, MonitoringDb};
+
+    /// correlated entity, anti-correlated entity, and noise entity around
+    /// a symptomatic service.
+    fn env() -> (MonitoringDb, EntityId, Vec<EntityId>) {
+        let mut db = MonitoringDb::new(10);
+        let svc = db.add_entity(EntityKind::Service, "svc");
+        let corr = db.add_entity(EntityKind::Vm, "corr");
+        let anti = db.add_entity(EntityKind::Vm, "anti");
+        let noise = db.add_entity(EntityKind::Vm, "noise");
+        for &e in &[corr, anti, noise] {
+            db.relate(svc, e, AssociationKind::Related);
+        }
+        for t in 0..100u64 {
+            let lat = 10.0 + 5.0 * ((t as f64) * 0.2).sin();
+            db.record(svc, MetricKind::Latency, t, lat);
+            db.record(corr, MetricKind::CpuUtil, t, lat * 2.0);
+            db.record(anti, MetricKind::CpuUtil, t, 100.0 - lat * 2.0);
+            db.record(noise, MetricKind::CpuUtil, t, ((t * 7919) % 23) as f64);
+        }
+        (db, svc, vec![corr, anti, noise])
+    }
+
+    #[test]
+    fn ranks_by_absolute_correlation() {
+        let (db, svc, cands) = env();
+        let graph = build_from_seeds(&db, &[svc], BuildOptions::default());
+        let ctx = SchemeContext {
+            db: &db,
+            graph: &graph,
+            symptom: Symptom::high(svc, MetricKind::Latency),
+            candidates: &cands,
+            n_train: 100,
+        };
+        let ranked = ExplainIt::new().diagnose(&ctx);
+        assert_eq!(ranked.len(), 3);
+        // Both perfectly (anti-)correlated entities precede the noise.
+        assert_eq!(ranked[2], cands[2]);
+    }
+
+    #[test]
+    fn threshold_filters_weak_candidates() {
+        let (db, svc, cands) = env();
+        let graph = build_from_seeds(&db, &[svc], BuildOptions::default());
+        let ctx = SchemeContext {
+            db: &db,
+            graph: &graph,
+            symptom: Symptom::high(svc, MetricKind::Latency),
+            candidates: &cands,
+            n_train: 100,
+        };
+        let ranked = ExplainIt::with_threshold(0.9).diagnose(&ctx);
+        assert_eq!(ranked.len(), 2); // noise filtered out
+    }
+
+    #[test]
+    fn missing_symptom_series_yields_empty() {
+        let (db, svc, cands) = env();
+        let graph = build_from_seeds(&db, &[svc], BuildOptions::default());
+        let ctx = SchemeContext {
+            db: &db,
+            graph: &graph,
+            symptom: Symptom::high(svc, MetricKind::ErrorRate), // never recorded
+            candidates: &cands,
+            n_train: 100,
+        };
+        assert!(ExplainIt::new().diagnose(&ctx).is_empty());
+    }
+
+    #[test]
+    fn no_candidates_yields_empty() {
+        let (db, svc, _) = env();
+        let graph = build_from_seeds(&db, &[svc], BuildOptions::default());
+        let ctx = SchemeContext {
+            db: &db,
+            graph: &graph,
+            symptom: Symptom::high(svc, MetricKind::Latency),
+            candidates: &[],
+            n_train: 100,
+        };
+        assert!(ExplainIt::new().diagnose(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Reference diagnosis schemes the Murphy paper compares against.
+//!
+//! All three baselines consume the *same* inputs as Murphy — the
+//! monitoring database, the relationship graph, the symptom, and the same
+//! pruned candidate space ("for fairness, we provide this pruned search
+//! space to all reference schemes", §4.2) — through the common
+//! [`scheme::DiagnosisScheme`] trait:
+//!
+//! * [`explainit`] — ExplainIt: ranks candidates by pairwise correlation
+//!   between their metrics and the symptom metric; no topology awareness.
+//! * [`netmedic`] — NetMedic: correlation-derived edge weights over the
+//!   dependency graph, dampened for "normal"-looking entities, combined
+//!   into a geometric-mean path score plus a global-impact term.
+//! * [`sage`] — a Sage-style counterfactual engine restricted to a causal
+//!   DAG: per-node conditional models on DAG parents, root-cause search
+//!   over the symptom's ancestors only. Faithfully inherits Sage's
+//!   structural limitation: anything outside the DAG (or any cyclic
+//!   environment) is out of scope.
+//!
+//! A [`scheme::MurphyScheme`] adapter exposes Murphy itself through the
+//! same trait so experiment code can iterate over all four uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explainit;
+pub mod netmedic;
+pub mod sage;
+pub mod scheme;
+
+pub use explainit::ExplainIt;
+pub use netmedic::NetMedic;
+pub use sage::Sage;
+pub use scheme::{DiagnosisScheme, MurphyScheme, SchemeContext};

@@ -1,0 +1,333 @@
+//! NetMedic-style baseline.
+//!
+//! Following the paper's summary of NetMedic (§2.3): it "labels edges with
+//! weights based on pairwise correlation between neighbors using
+//! historical metric values, augmented with heuristics to reduce weights
+//! when metric values are roughly normal ... Finally, it ranks root causes
+//! based on a geometric-mean of path weights, and a score of the global
+//! downstream impact of the candidate root cause."
+//!
+//! Our implementation:
+//!
+//! * **Edge weights**: for each directed edge `u → v`, the maximum
+//!   |Pearson correlation| between any metric of `u` and any metric of `v`
+//!   over the training window.
+//! * **Normality dampening**: an edge out of an entity whose current
+//!   metrics are all close to their historical means (low z-score) has its
+//!   weight scaled down — "ignoring normal influence".
+//! * **Path score**: the best geometric mean of edge weights over paths
+//!   from candidate to symptom, searched over shortest paths (BFS layers).
+//! * **Global impact**: fraction of currently-abnormal entities reachable
+//!   from the candidate.
+//! * **Rank**: descending `path_score × (1 + impact)`.
+
+use crate::scheme::{DiagnosisScheme, SchemeContext};
+use murphy_graph::paths::bfs_distances;
+use murphy_graph::RelationshipGraph;
+use murphy_stats::{anomaly_score, pearson};
+use murphy_telemetry::{EntityId, MetricId, MonitoringDb};
+use std::collections::BTreeMap;
+
+/// Tunables for the NetMedic baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct NetMedicParams {
+    /// Entities with every metric under this z-score are "normal"; edges
+    /// out of them get dampened.
+    pub normal_z: f64,
+    /// Multiplier applied to the outgoing edge weights of normal entities.
+    pub normal_dampening: f64,
+    /// Candidates scoring below this are not reported (the Table 1
+    /// calibration knob).
+    pub min_score: f64,
+}
+
+impl Default for NetMedicParams {
+    fn default() -> Self {
+        Self {
+            normal_z: 1.0,
+            normal_dampening: 0.2,
+            min_score: 0.0,
+        }
+    }
+}
+
+/// The NetMedic baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetMedic {
+    /// Parameters.
+    pub params: NetMedicParams,
+}
+
+impl NetMedic {
+    /// With default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// With a reporting threshold.
+    pub fn with_min_score(min_score: f64) -> Self {
+        Self {
+            params: NetMedicParams {
+                min_score,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Current anomaly z-score of an entity's most anomalous metric against
+/// its window history.
+fn entity_abnormality(
+    db: &MonitoringDb,
+    entity: EntityId,
+    from: u64,
+    to: u64,
+) -> f64 {
+    db.metrics_of(entity)
+        .into_iter()
+        .map(|kind| {
+            let m = MetricId::new(entity, kind);
+            let hist = db
+                .series(m)
+                .map(|s| s.window_mean_imputed(from, to, kind.default_value(), 8))
+                .unwrap_or_default();
+            anomaly_score(&hist, db.current_value(m))
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Max |correlation| between any metric of `u` and any metric of `v`.
+fn edge_correlation(db: &MonitoringDb, u: EntityId, v: EntityId, from: u64, to: u64) -> f64 {
+    let u_series: Vec<Vec<f64>> = db
+        .metrics_of(u)
+        .into_iter()
+        .filter_map(|k| db.series(MetricId::new(u, k)).map(|s| s.window_mean_imputed(from, to, k.default_value(), 8)))
+        .collect();
+    let v_series: Vec<Vec<f64>> = db
+        .metrics_of(v)
+        .into_iter()
+        .filter_map(|k| db.series(MetricId::new(v, k)).map(|s| s.window_mean_imputed(from, to, k.default_value(), 8)))
+        .collect();
+    let mut best: f64 = 0.0;
+    for us in &u_series {
+        for vs in &v_series {
+            best = best.max(pearson(us, vs).abs());
+        }
+    }
+    best
+}
+
+/// Best geometric-mean-of-edge-weights over shortest paths `src → dst`.
+/// Dynamic program over BFS layers: for each node at distance d, keep the
+/// best product of weights along any shortest path from src.
+fn best_path_score(
+    graph: &RelationshipGraph,
+    weights: &BTreeMap<(usize, usize), f64>,
+    src: usize,
+    dst: usize,
+) -> Option<f64> {
+    let dist = bfs_distances(graph, src);
+    if dist[dst] == usize::MAX {
+        return None;
+    }
+    if src == dst {
+        return Some(1.0);
+    }
+    let total = dist[dst];
+    // Order nodes by distance; propagate best log-products forward.
+    let mut best = vec![f64::NEG_INFINITY; graph.node_count()];
+    best[src] = 0.0;
+    let mut order: Vec<usize> = (0..graph.node_count())
+        .filter(|&v| dist[v] <= total && dist[v] != usize::MAX)
+        .collect();
+    order.sort_by_key(|&v| dist[v]);
+    for &u in &order {
+        if best[u] == f64::NEG_INFINITY {
+            continue;
+        }
+        for &v in graph.out_nbrs(u) {
+            if dist[v] == dist[u] + 1 && dist[v] <= total {
+                let w = weights.get(&(u, v)).copied().unwrap_or(0.0).max(1e-6);
+                let cand = best[u] + w.ln();
+                if cand > best[v] {
+                    best[v] = cand;
+                }
+            }
+        }
+    }
+    if best[dst] == f64::NEG_INFINITY {
+        None
+    } else {
+        Some((best[dst] / total as f64).exp()) // geometric mean
+    }
+}
+
+impl DiagnosisScheme for NetMedic {
+    fn name(&self) -> &'static str {
+        "NetMedic"
+    }
+
+    fn diagnose(&self, ctx: &SchemeContext<'_>) -> Vec<EntityId> {
+        let window = ctx.window();
+        let (from, to) = (window.from, window.to);
+        let graph = ctx.graph;
+
+        // Per-entity abnormality (for dampening and global impact).
+        let abnormality: Vec<f64> = graph
+            .entities()
+            .iter()
+            .map(|&e| entity_abnormality(ctx.db, e, from, to))
+            .collect();
+
+        // Edge weights with normality dampening.
+        let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for (u_ent, v_ent) in graph.edges() {
+            let u = graph.node(u_ent).expect("edge endpoint in graph");
+            let v = graph.node(v_ent).expect("edge endpoint in graph");
+            let mut w = edge_correlation(ctx.db, u_ent, v_ent, from, to);
+            if abnormality[u] < self.params.normal_z {
+                w *= self.params.normal_dampening;
+            }
+            weights.insert((u, v), w);
+        }
+
+        let Some(symptom_idx) = graph.node(ctx.symptom.entity) else {
+            return Vec::new();
+        };
+        let abnormal_total = abnormality
+            .iter()
+            .filter(|&&z| z >= self.params.normal_z)
+            .count()
+            .max(1);
+
+        let mut scored: Vec<(EntityId, f64)> = ctx
+            .candidates
+            .iter()
+            .filter_map(|&c| {
+                let c_idx = graph.node(c)?;
+                let path = best_path_score(graph, &weights, c_idx, symptom_idx)?;
+                // Global impact: abnormal entities reachable from c.
+                let dist = bfs_distances(graph, c_idx);
+                let impacted = (0..graph.node_count())
+                    .filter(|&v| dist[v] != usize::MAX && abnormality[v] >= self.params.normal_z)
+                    .count();
+                let impact = impacted as f64 / abnormal_total as f64;
+                Some((c, path * (1.0 + impact)))
+            })
+            .filter(|&(_, s)| s >= self.params.min_score)
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(e, _)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_core::Symptom;
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind};
+
+    /// driver (abnormal, correlated) vs bystander (normal, weakly
+    /// correlated) both adjacent to the victim.
+    fn env() -> (MonitoringDb, EntityId, EntityId, EntityId) {
+        let mut db = MonitoringDb::new(10);
+        let victim = db.add_entity(EntityKind::Vm, "victim");
+        let driver = db.add_entity(EntityKind::Vm, "driver");
+        let bystander = db.add_entity(EntityKind::Vm, "bystander");
+        db.relate(driver, victim, AssociationKind::Related);
+        db.relate(bystander, victim, AssociationKind::Related);
+        for t in 0..150u64 {
+            let spike = if t >= 130 { 50.0 } else { 0.0 };
+            let drv = 15.0 + 6.0 * ((t as f64) * 0.25).sin() + spike;
+            db.record(driver, MetricKind::CpuUtil, t, drv);
+            db.record(bystander, MetricKind::CpuUtil, t, 12.0 + 0.5 * ((t as f64) * 1.3).cos());
+            db.record(victim, MetricKind::CpuUtil, t, (0.9 * drv + 4.0).min(100.0));
+        }
+        (db, victim, driver, bystander)
+    }
+
+    fn ctx<'a>(
+        db: &'a MonitoringDb,
+        graph: &'a RelationshipGraph,
+        victim: EntityId,
+        candidates: &'a [EntityId],
+    ) -> SchemeContext<'a> {
+        SchemeContext {
+            db,
+            graph,
+            symptom: Symptom::high(victim, MetricKind::CpuUtil),
+            candidates,
+            n_train: 120,
+        }
+    }
+
+    #[test]
+    fn correlated_abnormal_driver_ranks_first() {
+        let (db, victim, driver, bystander) = env();
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        let cands = [driver, bystander];
+        let ranked = NetMedic::new().diagnose(&ctx(&db, &graph, victim, &cands));
+        assert_eq!(ranked.first(), Some(&driver));
+    }
+
+    #[test]
+    fn min_score_threshold_filters() {
+        let (db, victim, driver, bystander) = env();
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        let cands = [driver, bystander];
+        let all = NetMedic::new().diagnose(&ctx(&db, &graph, victim, &cands));
+        let strict = NetMedic::with_min_score(0.5).diagnose(&ctx(&db, &graph, victim, &cands));
+        assert!(strict.len() <= all.len());
+        if !strict.is_empty() {
+            assert_eq!(strict[0], driver);
+        }
+    }
+
+    #[test]
+    fn unreachable_candidate_not_reported() {
+        let (mut db, victim, driver, _) = env();
+        let loner = db.add_entity(EntityKind::Vm, "loner");
+        for t in 0..150u64 {
+            db.record(loner, MetricKind::CpuUtil, t, 80.0);
+        }
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        let cands = [driver, loner];
+        let ranked = NetMedic::new().diagnose(&ctx(&db, &graph, victim, &cands));
+        assert!(!ranked.contains(&loner));
+    }
+
+    #[test]
+    fn symptom_not_in_graph_yields_empty() {
+        let (db, victim, driver, _) = env();
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        let cands = [driver];
+        let mut c = ctx(&db, &graph, victim, &cands);
+        c.symptom = Symptom::high(EntityId(999), MetricKind::CpuUtil);
+        assert!(NetMedic::new().diagnose(&c).is_empty());
+    }
+
+    #[test]
+    fn geometric_mean_path_scoring() {
+        // Two-hop chain a → b → symptom with known weights: score is the
+        // geometric mean of the two edge correlations.
+        let mut graph = RelationshipGraph::new();
+        for i in 0..3 {
+            graph.add_node(EntityId(i));
+        }
+        graph.add_edge(EntityId(0), EntityId(1));
+        graph.add_edge(EntityId(1), EntityId(2));
+        let mut weights = BTreeMap::new();
+        weights.insert((0usize, 1usize), 0.9);
+        weights.insert((1usize, 2usize), 0.4);
+        let score = best_path_score(&graph, &weights, 0, 2).unwrap();
+        assert!((score - (0.9f64 * 0.4).sqrt()).abs() < 1e-9);
+        // Self path scores 1.0; unreachable returns None.
+        assert_eq!(best_path_score(&graph, &weights, 0, 0), Some(1.0));
+        assert!(best_path_score(&graph, &weights, 2, 0).is_none());
+    }
+}

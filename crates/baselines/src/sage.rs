@@ -1,0 +1,386 @@
+//! Sage-style causal-DAG counterfactual baseline.
+//!
+//! Sage (Gan et al., ASPLOS 2021) performs counterfactual root-cause
+//! analysis over a *known causal DAG* — the microservice call graph — with
+//! a learned generative model per node. The Murphy paper's evaluation
+//! hinges on two structural properties of that design, both of which this
+//! reimplementation preserves:
+//!
+//! 1. **DAG-only.** The model is built exclusively from associations with
+//!    a *known* causal direction (caller→callee edges and the like). If
+//!    that directed view contains a cycle, Sage is inapplicable and
+//!    reports nothing — matching "Sage is incapable of working in this
+//!    environment" (§6.2).
+//! 2. **Model scope.** Candidates are searched only among the symptom
+//!    entity's *ancestors* in the DAG. A root cause outside that cone
+//!    (e.g. a sibling service sharing a backend, §6.1) "falls outside its
+//!    model, preventing Sage from catching it".
+//!
+//! The per-node generative model is a conditional regressor on DAG-parent
+//! metrics (the same ridge family Murphy uses, replacing Sage's CVAE; the
+//! counterfactual logic — intervene at the candidate, propagate in
+//! topological order, compare the symptom — is the same shape).
+
+use crate::scheme::{DiagnosisScheme, SchemeContext};
+use murphy_learn::{select_top_features, ModelKind, TrainedModel};
+use murphy_stats::Summary;
+use murphy_telemetry::{
+    Directionality, EntityId, MetricId, MonitoringDb,
+};
+use std::collections::BTreeMap;
+
+/// The Sage-style baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Sage {
+    /// Feature budget per node model.
+    pub feature_budget: usize,
+    /// Counterfactual offset in historical standard deviations.
+    pub counterfactual_sigmas: f64,
+    /// Minimum relief (in symptom historical std) to report a candidate.
+    pub min_relief_sigmas: f64,
+}
+
+impl Default for Sage {
+    fn default() -> Self {
+        Self {
+            feature_budget: 10,
+            counterfactual_sigmas: 2.0,
+            min_relief_sigmas: 0.25,
+        }
+    }
+}
+
+impl Sage {
+    /// With default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The directed causal view: adjacency from known-direction associations.
+struct CausalDag {
+    /// entity → children (entities it causally influences).
+    children: BTreeMap<EntityId, Vec<EntityId>>,
+    /// entity → parents.
+    parents: BTreeMap<EntityId, Vec<EntityId>>,
+    /// All entities that appear in any directed association.
+    nodes: Vec<EntityId>,
+}
+
+impl CausalDag {
+    /// Build from the database's *directed* associations only. Undirected
+    /// (Both) associations carry no causal knowledge and are excluded —
+    /// this is precisely Sage's input requirement.
+    fn build(db: &MonitoringDb) -> Self {
+        let mut children: BTreeMap<EntityId, Vec<EntityId>> = BTreeMap::new();
+        let mut parents: BTreeMap<EntityId, Vec<EntityId>> = BTreeMap::new();
+        let mut nodes: Vec<EntityId> = Vec::new();
+        for assoc in db.associations() {
+            let (from, to) = match assoc.direction {
+                Directionality::AToB => (assoc.a, assoc.b),
+                Directionality::BToA => (assoc.b, assoc.a),
+                Directionality::Both => continue,
+            };
+            children.entry(from).or_default().push(to);
+            parents.entry(to).or_default().push(from);
+            nodes.push(from);
+            nodes.push(to);
+        }
+        nodes.sort();
+        nodes.dedup();
+        Self {
+            children,
+            parents,
+            nodes,
+        }
+    }
+
+    /// Topological order, or `None` when the directed view has a cycle.
+    fn topological_order(&self) -> Option<Vec<EntityId>> {
+        let mut in_deg: BTreeMap<EntityId, usize> = self
+            .nodes
+            .iter()
+            .map(|&n| (n, self.parents.get(&n).map(|p| p.len()).unwrap_or(0)))
+            .collect();
+        let mut queue: Vec<EntityId> = in_deg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop() {
+            order.push(n);
+            for &c in self.children.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                let d = in_deg.get_mut(&c).expect("child is a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() == self.nodes.len() {
+            Some(order)
+        } else {
+            None // cycle
+        }
+    }
+
+    /// Ancestors of `target` (entities with a directed path to it).
+    fn ancestors(&self, target: EntityId) -> Vec<EntityId> {
+        let mut seen = vec![target];
+        let mut stack = vec![target];
+        while let Some(n) = stack.pop() {
+            for &p in self.parents.get(&n).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        seen.retain(|&e| e != target);
+        seen
+    }
+}
+
+impl DiagnosisScheme for Sage {
+    fn name(&self) -> &'static str {
+        "Sage"
+    }
+
+    fn diagnose(&self, ctx: &SchemeContext<'_>) -> Vec<EntityId> {
+        let dag = CausalDag::build(ctx.db);
+        // Structural gates: a usable topological order and the symptom in
+        // the model.
+        let Some(topo) = dag.topological_order() else {
+            return Vec::new(); // cyclic causal view: Sage can't model this
+        };
+        if !dag.nodes.contains(&ctx.symptom.entity) {
+            return Vec::new();
+        }
+        let window = ctx.window();
+        let (from, to) = (window.from, window.to);
+        let len = (to - from) as usize;
+        if len == 0 {
+            return Vec::new();
+        }
+
+        // Index all metrics of DAG nodes; extract training columns.
+        let mut metric_ids: Vec<MetricId> = Vec::new();
+        for &e in &dag.nodes {
+            for kind in ctx.db.metrics_of(e) {
+                metric_ids.push(MetricId::new(e, kind));
+            }
+        }
+        let positions: BTreeMap<MetricId, usize> = metric_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, i))
+            .collect();
+        let columns: Vec<Vec<f64>> = metric_ids
+            .iter()
+            .map(|&m| {
+                ctx.db
+                    .series(m)
+                    .map(|s| s.window_mean_imputed(from, to, m.kind.default_value(), 8))
+                    .unwrap_or_else(|| vec![m.kind.default_value(); len])
+            })
+            .collect();
+        let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
+        let current: Vec<f64> = metric_ids.iter().map(|&m| ctx.db.current_value(m)).collect();
+
+        // Per-metric model on DAG-parent metrics.
+        let mut models: Vec<Option<(Vec<usize>, TrainedModel)>> = Vec::with_capacity(metric_ids.len());
+        for (i, m) in metric_ids.iter().enumerate() {
+            let mut parent_positions: Vec<usize> = Vec::new();
+            if let Some(ps) = dag.parents.get(&m.entity) {
+                for &p in ps {
+                    for k in ctx.db.metrics_of(p) {
+                        if let Some(&pos) = positions.get(&MetricId::new(p, k)) {
+                            parent_positions.push(pos);
+                        }
+                    }
+                }
+            }
+            if parent_positions.is_empty() {
+                models.push(None);
+                continue;
+            }
+            let cand_cols: Vec<Vec<f64>> =
+                parent_positions.iter().map(|&p| columns[p].clone()).collect();
+            let chosen = select_top_features(&cand_cols, &columns[i], self.feature_budget);
+            let feats: Vec<usize> = chosen.iter().map(|&c| parent_positions[c]).collect();
+            let rows: Vec<Vec<f64>> = (0..len)
+                .map(|t| feats.iter().map(|&p| columns[p][t]).collect())
+                .collect();
+            match TrainedModel::fit(ModelKind::Ridge, &rows, &columns[i], 0) {
+                Ok(model) => models.push(Some((feats, model))),
+                Err(_) => models.push(None),
+            }
+        }
+
+        // Deterministic propagation in topological order; metric values of
+        // node e are recomputed from its parents' (already updated) values.
+        let propagate = |intervened: EntityId, values: &mut Vec<f64>| {
+            for &node in &topo {
+                if node == intervened {
+                    continue; // pinned
+                }
+                for kind in ctx.db.metrics_of(node) {
+                    let Some(&pos) = positions.get(&MetricId::new(node, kind)) else {
+                        continue;
+                    };
+                    if let Some((feats, model)) = &models[pos] {
+                        let x: Vec<f64> = feats.iter().map(|&p| values[p]).collect();
+                        values[pos] = kind.clamp(model.predict(&x));
+                    }
+                }
+            }
+        };
+
+        let Some(&symptom_pos) = positions.get(&ctx.symptom.metric_id()) else {
+            return Vec::new();
+        };
+        let symptom_std = history[symptom_pos].std_dev_floored(1e-6);
+
+        // Candidate scope: ancestors ∩ provided candidate space.
+        let ancestors = dag.ancestors(ctx.symptom.entity);
+        let mut scored: Vec<(EntityId, f64)> = Vec::new();
+        for &c in ctx.candidates {
+            if !ancestors.contains(&c) {
+                continue; // outside the model
+            }
+            // Counterfactual: move each of c's metrics toward its
+            // historical mean by `counterfactual_sigmas`.
+            let mut cf = current.clone();
+            for kind in ctx.db.metrics_of(c) {
+                if let Some(&p) = positions.get(&MetricId::new(c, kind)) {
+                    let h = &history[p];
+                    let dir = if cf[p] >= h.mean { -1.0 } else { 1.0 };
+                    cf[p] = kind.clamp(cf[p] + dir * self.counterfactual_sigmas * h.std_dev_floored(1e-6));
+                }
+            }
+            let mut factual = current.clone();
+            propagate(c, &mut cf);
+            propagate(c, &mut factual);
+            let relief = if ctx.symptom.is_high() {
+                factual[symptom_pos] - cf[symptom_pos]
+            } else {
+                cf[symptom_pos] - factual[symptom_pos]
+            };
+            if relief >= self.min_relief_sigmas * symptom_std {
+                scored.push((c, relief));
+            }
+        }
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(e, _)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_core::Symptom;
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind};
+
+    /// DAG: faulty → middle → frontend, all causal (directed) edges.
+    /// The fault spikes `faulty`'s CPU at the tail, raising frontend latency.
+    fn dag_env() -> (MonitoringDb, EntityId, EntityId, EntityId) {
+        let mut db = MonitoringDb::new(10);
+        let frontend = db.add_entity(EntityKind::Service, "frontend");
+        let middle = db.add_entity(EntityKind::Service, "middle");
+        let faulty = db.add_entity(EntityKind::Container, "faulty");
+        // Influence flows faulty → middle → frontend.
+        db.relate_directed(faulty, middle, AssociationKind::ServiceOnContainer);
+        db.relate_directed(middle, frontend, AssociationKind::ServiceCall);
+        for t in 0..200u64 {
+            let spike = if t >= 180 { 55.0 } else { 0.0 };
+            let cpu = 15.0 + 5.0 * ((t as f64) * 0.33).sin() + spike;
+            db.record(faulty, MetricKind::CpuUtil, t, cpu);
+            let mid_lat = 5.0 + 0.3 * cpu;
+            db.record(middle, MetricKind::Latency, t, mid_lat);
+            db.record(frontend, MetricKind::Latency, t, mid_lat + 3.0);
+        }
+        (db, frontend, middle, faulty)
+    }
+
+    fn run(db: &MonitoringDb, frontend: EntityId, candidates: &[EntityId]) -> Vec<EntityId> {
+        let graph = build_from_seeds(db, &[frontend], BuildOptions::default());
+        let ctx = SchemeContext {
+            db,
+            graph: &graph,
+            symptom: Symptom::high(frontend, MetricKind::Latency),
+            candidates,
+            n_train: 150,
+        };
+        Sage::new().diagnose(&ctx)
+    }
+
+    #[test]
+    fn finds_ancestor_root_cause_on_a_dag() {
+        let (db, frontend, middle, faulty) = dag_env();
+        let ranked = run(&db, frontend, &[faulty, middle]);
+        assert!(ranked.contains(&faulty), "ranked = {ranked:?}");
+    }
+
+    #[test]
+    fn out_of_model_candidate_is_invisible() {
+        // A sibling entity related to the frontend only through an
+        // *undirected* association is outside Sage's causal view.
+        let (mut db, frontend, middle, faulty) = dag_env();
+        let sibling = db.add_entity(EntityKind::Vm, "sibling");
+        db.relate(sibling, frontend, AssociationKind::Related);
+        for t in 0..200u64 {
+            db.record(sibling, MetricKind::CpuUtil, t, if t >= 180 { 90.0 } else { 10.0 });
+        }
+        let ranked = run(&db, frontend, &[faulty, middle, sibling]);
+        assert!(!ranked.contains(&sibling), "sibling is outside the DAG");
+    }
+
+    #[test]
+    fn cyclic_causal_view_disables_sage() {
+        let (mut db, frontend, middle, faulty) = dag_env();
+        // Add a directed back-edge creating a causal cycle.
+        db.relate_directed(frontend, faulty, AssociationKind::ServiceCall);
+        let ranked = run(&db, frontend, &[faulty, middle]);
+        assert!(ranked.is_empty(), "Sage must refuse cyclic causal input");
+    }
+
+    #[test]
+    fn symptom_outside_dag_yields_empty() {
+        let (mut db, _, _, faulty) = dag_env();
+        let orphan = db.add_entity(EntityKind::Service, "orphan");
+        for t in 0..200u64 {
+            db.record(orphan, MetricKind::Latency, t, 100.0);
+        }
+        let ranked = run(&db, orphan, &[faulty]);
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn dag_utilities() {
+        let (db, frontend, middle, faulty) = dag_env();
+        let dag = CausalDag::build(&db);
+        let topo = dag.topological_order().expect("acyclic");
+        let pos = |e: EntityId| topo.iter().position(|&x| x == e).unwrap();
+        assert!(pos(faulty) < pos(middle));
+        assert!(pos(middle) < pos(frontend));
+        let mut anc = dag.ancestors(frontend);
+        anc.sort();
+        assert_eq!(anc, vec![middle, faulty].into_iter().collect::<Vec<_>>().tap_sorted());
+    }
+
+    trait TapSorted {
+        fn tap_sorted(self) -> Self;
+    }
+    impl TapSorted for Vec<EntityId> {
+        fn tap_sorted(mut self) -> Self {
+            self.sort();
+            self
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The common scheme interface.
+//!
+//! Every diagnosis scheme — Murphy and the three baselines — maps the same
+//! inputs to a ranked list of root-cause entities, so the experiment
+//! harness can run them interchangeably over identical scenarios.
+
+use murphy_core::diagnose::diagnose_with_candidates;
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::{MurphyConfig, Symptom};
+use murphy_graph::RelationshipGraph;
+use murphy_telemetry::{EntityId, MonitoringDb};
+
+/// Shared inputs handed to every scheme.
+#[derive(Clone, Copy)]
+pub struct SchemeContext<'a> {
+    /// The monitoring database.
+    pub db: &'a MonitoringDb,
+    /// The relationship graph (schemes that cannot consume cyclic graphs
+    /// derive their own restricted view from `db`).
+    pub graph: &'a RelationshipGraph,
+    /// The problematic symptom to diagnose.
+    pub symptom: Symptom,
+    /// The pruned candidate space, shared across schemes for fairness.
+    pub candidates: &'a [EntityId],
+    /// Training-window length in ticks.
+    pub n_train: usize,
+}
+
+impl<'a> SchemeContext<'a> {
+    /// The online training window for this context.
+    pub fn window(&self) -> TrainingWindow {
+        TrainingWindow::online(self.db, self.n_train)
+    }
+}
+
+/// A diagnosis scheme: inputs → ranked root-cause entities (best first).
+pub trait DiagnosisScheme {
+    /// Scheme name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Produce the ranked candidate list. An empty result means the scheme
+    /// found nothing — or, for Sage on cyclic input, cannot model the
+    /// environment at all.
+    fn diagnose(&self, ctx: &SchemeContext<'_>) -> Vec<EntityId>;
+}
+
+/// Murphy exposed through the common trait.
+pub struct MurphyScheme {
+    config: MurphyConfig,
+}
+
+impl MurphyScheme {
+    /// Wrap a configuration.
+    pub fn new(config: MurphyConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl DiagnosisScheme for MurphyScheme {
+    fn name(&self) -> &'static str {
+        "Murphy"
+    }
+
+    fn diagnose(&self, ctx: &SchemeContext<'_>) -> Vec<EntityId> {
+        let mut config = self.config;
+        config.n_train = ctx.n_train;
+        let mrf = train_mrf(
+            ctx.db,
+            ctx.graph,
+            &config,
+            ctx.window(),
+            ctx.db.latest_tick(),
+        );
+        let report =
+            diagnose_with_candidates(ctx.db, &mrf, ctx.graph, &ctx.symptom, ctx.candidates, &config);
+        report.root_causes.into_iter().map(|r| r.entity).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind};
+
+    #[test]
+    fn murphy_scheme_matches_core_pipeline() {
+        let mut db = MonitoringDb::new(10);
+        let driver = db.add_entity(EntityKind::Vm, "driver");
+        let victim = db.add_entity(EntityKind::Vm, "victim");
+        db.relate(driver, victim, AssociationKind::Related);
+        for t in 0..200u64 {
+            let spike = if t >= 180 { 60.0 } else { 0.0 };
+            let drv = 10.0 + 4.0 * ((t as f64) * 0.3).sin() + spike;
+            db.record(driver, MetricKind::CpuUtil, t, drv);
+            db.record(victim, MetricKind::CpuUtil, t, (0.9 * drv + 5.0).min(100.0));
+        }
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        let candidates = prune_candidates(&db, &graph, victim, 1.0);
+        let ctx = SchemeContext {
+            db: &db,
+            graph: &graph,
+            symptom,
+            candidates: &candidates,
+            n_train: 150,
+        };
+        let scheme = MurphyScheme::new(MurphyConfig::fast());
+        assert_eq!(scheme.name(), "Murphy");
+        let ranked = scheme.diagnose(&ctx);
+        assert!(ranked.contains(&driver));
+    }
+}

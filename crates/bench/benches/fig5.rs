@@ -1,0 +1,35 @@
+//! Criterion bench for the Figure 5 interference experiment: times one
+//! full interference-variant diagnosis (all four schemes) at fast scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murphy_baselines::{DiagnosisScheme, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_experiments::fig5::interference_scenario;
+use murphy_experiments::schemes::SchemeKind;
+use murphy_graph::prune_candidates;
+
+fn bench_fig5(c: &mut Criterion) {
+    let scenario = interference_scenario(1000, 240);
+    let candidates = prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+    let mut group = c.benchmark_group("fig5_interference");
+    group.sample_size(10);
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let scheme: Box<dyn DiagnosisScheme> = kind.build(MurphyConfig::fast());
+                let ctx = SchemeContext {
+                    db: &scenario.db,
+                    graph: &scenario.graph,
+                    symptom: scenario.symptom,
+                    candidates: &candidates,
+                    n_train: 150,
+                };
+                std::hint::black_box(scheme.diagnose(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

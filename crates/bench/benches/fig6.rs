@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 6 contention experiment: times one
+//! contention-scenario diagnosis per scheme on each app topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murphy_baselines::{DiagnosisScheme, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_experiments::fig6::{contention_scenario, App};
+use murphy_experiments::schemes::SchemeKind;
+use murphy_graph::prune_candidates;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_contention");
+    group.sample_size(10);
+    for app in [App::HotelReservation, App::SocialNetwork] {
+        let scenario = contention_scenario(app, 2001, 240, 2);
+        let candidates =
+            prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+        for kind in [SchemeKind::Murphy, SchemeKind::Sage] {
+            group.bench_function(format!("{}/{}", app.label(), kind.label()), |b| {
+                b.iter(|| {
+                    let scheme: Box<dyn DiagnosisScheme> = kind.build(MurphyConfig::fast());
+                    let ctx = SchemeContext {
+                        db: &scenario.db,
+                        graph: &scenario.graph,
+                        symptom: scenario.symptom,
+                        candidates: &candidates,
+                        n_train: 150,
+                    };
+                    std::hint::black_box(scheme.diagnose(&ctx))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 8a: times fitting each model family on one
+//! entity's prediction task (the unit of the 17K-entity sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murphy_learn::{ModelKind, TrainedModel};
+
+fn bench_fig8a(c: &mut Criterion) {
+    // A representative task: 240 training slices, 10 features.
+    let rows: Vec<Vec<f64>> = (0..240)
+        .map(|t| (0..10).map(|f| ((t * (f + 3)) as f64 * 0.01).sin() * 20.0 + 30.0).collect())
+        .collect();
+    let ys: Vec<f64> = rows
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(i, v)| v * (i as f64 * 0.1)).sum::<f64>() * 0.2)
+        .collect();
+
+    let mut group = c.benchmark_group("fig8a_model_fit");
+    for kind in ModelKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| std::hint::black_box(TrainedModel::fit(kind, &rows, &ys, 7).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8a);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 8b: times one resampling pass per Gibbs
+//! round count over an enterprise app subgraph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murphy_core::sampler::resample_subgraph;
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::MurphyConfig;
+use murphy_graph::{build_from_seeds, BuildOptions, ShortestPathSubgraph};
+use murphy_sim::enterprise::{generate, EnterpriseConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig8b(c: &mut Criterion) {
+    let enterprise = generate(&EnterpriseConfig::small(11));
+    let app = &enterprise.apps[0];
+    let db = &enterprise.db;
+    let graph = build_from_seeds(db, &db.application_members(&app.name), BuildOptions::four_hops());
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(db, &graph, &config, TrainingWindow::online(db, 150), db.latest_tick());
+    let sp = ShortestPathSubgraph::compute_with_slack(&graph, app.flows[0], app.db[0], 2)
+        .expect("path exists");
+
+    let mut group = c.benchmark_group("fig8b_gibbs_rounds");
+    for rounds in [1usize, 2, 4, 8] {
+        group.bench_function(format!("W={rounds}"), |b| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                let mut state = mrf.current.clone();
+                resample_subgraph(&mrf, &graph, &sp, &mut state, rounds, &mut rng);
+                std::hint::black_box(state)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8b);
+criterion_main!(benches);

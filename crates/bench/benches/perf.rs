@@ -1,0 +1,71 @@
+//! §6.7 scaling study: Murphy's end-to-end runtime versus relationship-
+//! graph size (training is O((N+M)·T); inference O((N+M)·W) per sample).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::MurphyConfig;
+use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
+use murphy_sim::enterprise::{generate, EnterpriseConfig};
+use murphy_sim::incidents::{build_incident, TABLE1};
+
+fn bench_training_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_training_vs_graph_size");
+    group.sample_size(10);
+    for apps in [2usize, 6, 12] {
+        let config = EnterpriseConfig {
+            num_apps: apps,
+            ..EnterpriseConfig::small(3)
+        };
+        let enterprise = generate(&config);
+        let db = &enterprise.db;
+        let seeds: Vec<_> = enterprise
+            .apps
+            .iter()
+            .flat_map(|a| db.application_members(&a.name))
+            .collect();
+        let graph = build_from_seeds(db, &seeds, BuildOptions::four_hops());
+        let murphy = MurphyConfig::fast();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}entities", graph.node_count())),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    std::hint::black_box(train_mrf(
+                        db,
+                        graph,
+                        &murphy,
+                        TrainingWindow::online(db, 120),
+                        db.latest_tick(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_end_to_end_diagnosis");
+    group.sample_size(10);
+    let scenario = build_incident(TABLE1[1], 42);
+    let candidates =
+        prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+    group.bench_function("incident2_full_pipeline", |b| {
+        b.iter(|| {
+            let scheme = MurphyScheme::new(MurphyConfig::fast());
+            let ctx = SchemeContext {
+                db: &scenario.db,
+                graph: &scenario.graph,
+                symptom: scenario.symptom,
+                candidates: &candidates,
+                n_train: 150,
+            };
+            std::hint::black_box(scheme.diagnose(&ctx))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_scale, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Table 1: times one enterprise-incident diagnosis
+//! (graph of O(10^2-10^3) entities) with Murphy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_graph::prune_candidates;
+use murphy_sim::incidents::{build_incident, TABLE1};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_incidents");
+    group.sample_size(10);
+    // Incident 2 is the Figure 1 crawler story; incident 8 has the most
+    // red herrings.
+    for &idx in &[1usize, 7] {
+        let spec = TABLE1[idx];
+        let scenario = build_incident(spec, 42);
+        let candidates =
+            prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+        group.bench_function(format!("incident{}", spec.id), |b| {
+            b.iter(|| {
+                let scheme = MurphyScheme::new(MurphyConfig::fast());
+                let ctx = SchemeContext {
+                    db: &scenario.db,
+                    graph: &scenario.graph,
+                    symptom: scenario.symptom,
+                    candidates: &candidates,
+                    n_train: 150,
+                };
+                std::hint::black_box(scheme.diagnose(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

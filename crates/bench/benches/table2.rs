@@ -1,0 +1,50 @@
+//! Criterion bench for Table 2: times a degraded-input diagnosis (the
+//! degradation operators plus graph rebuild plus Murphy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_experiments::fig6::{contention_scenario, App};
+use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
+use murphy_telemetry::degrade::{apply, DegradeContext, Degradation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table2(c: &mut Criterion) {
+    let base = contention_scenario(App::HotelReservation, 3000, 240, 2);
+    let mut group = c.benchmark_group("table2_robustness");
+    group.sample_size(10);
+    for degradation in Degradation::TABLE2 {
+        group.bench_function(degradation.label(), |b| {
+            b.iter(|| {
+                let mut db = base.db.clone();
+                let mut rng = StdRng::seed_from_u64(9);
+                apply(
+                    &mut db,
+                    degradation,
+                    DegradeContext {
+                        symptom_entity: base.symptom.entity,
+                        root_cause_entity: base.ground_truth[0],
+                        incident_start_tick: base.incident_start_tick,
+                    },
+                    &mut rng,
+                );
+                let graph = build_from_seeds(&db, &[base.symptom.entity], BuildOptions::default());
+                let candidates = prune_candidates(&db, &graph, base.symptom.entity, 1.0);
+                let scheme = MurphyScheme::new(MurphyConfig::fast());
+                let ctx = SchemeContext {
+                    db: &db,
+                    graph: &graph,
+                    symptom: base.symptom,
+                    candidates: &candidates,
+                    n_train: 150,
+                };
+                std::hint::black_box(scheme.diagnose(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

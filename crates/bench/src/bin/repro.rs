@@ -1,0 +1,350 @@
+//! `repro` — regenerate every table and figure of the Murphy paper.
+//!
+//! ```text
+//! repro [--scale fast|default|paper] [experiment ...]
+//!
+//! experiments: fig5c fig5d table1 fig6a fig6 table2 fig7 fig8a fig8b cycles all
+//! ```
+//!
+//! Each experiment prints the paper-shaped rows/series; absolute numbers
+//! come from the emulated substrates and are expected to match the paper
+//! in *shape* (who wins, rough factors, crossovers), not in magnitude.
+
+use murphy_bench::Scale;
+use murphy_core::MurphyConfig;
+use murphy_experiments::report::{f2, pct, series, table};
+use murphy_experiments::schemes::SchemeKind;
+use murphy_experiments::{fig5, fig6, fig7, fig8a, fig8b, perf, sensitivity, table1, table2};
+use murphy_graph::CycleStats;
+use murphy_learn::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Fast;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let word = iter.next().map(String::as_str).unwrap_or("");
+                match Scale::parse(word) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{word}' (fast|default|paper)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale fast|default|paper] [fig5c fig5d table1 fig6a fig6 table2 fig7 fig8a fig8b cycles sensitivity perf all]"
+                );
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = ["fig5c", "fig5d", "table1", "fig6a", "fig6", "table2", "fig7", "fig8a", "fig8b", "cycles", "sensitivity", "perf"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    println!("# Murphy reproduction — scale: {scale:?}\n");
+    for exp in &experiments {
+        match exp.as_str() {
+            "fig5c" | "fig5d" => run_fig5(scale, exp == "fig5d"),
+            "table1" => run_table1(scale),
+            "fig6a" => run_fig6a(),
+            "fig6" => run_fig6(scale),
+            "table2" => run_table2(scale),
+            "fig7" => run_fig7(scale),
+            "fig8a" => run_fig8a(scale),
+            "fig8b" => run_fig8b(scale),
+            "cycles" => run_cycles(),
+            "sensitivity" => run_sensitivity(scale),
+            "perf" => run_perf(scale),
+            other => eprintln!("unknown experiment '{other}', skipping"),
+        }
+    }
+}
+
+fn run_fig5(scale: Scale, precision_table: bool) {
+    let results = fig5::run(&scale.fig5());
+    if precision_table {
+        let rows: Vec<Vec<String>> = SchemeKind::ALL
+            .iter()
+            .map(|&k| {
+                let acc = results.of(k);
+                vec![
+                    k.label().to_string(),
+                    f2(acc.recall_at(5)),
+                    f2(acc.relaxed_recall()),
+                    f2(acc.precision()),
+                    f2(acc.relaxed_precision()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            table(
+                "Fig 5d — interference: precision and recall (K=5)",
+                &["scheme", "recall", "relaxed recall", "precision", "relaxed precision"],
+                &rows,
+            )
+        );
+    } else {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for k in [1usize, 2, 4, 8, 10] {
+            let mut row = vec![format!("top-{k}")];
+            for scheme in SchemeKind::ALL {
+                row.push(pct(results.of(scheme).recall_at(k)));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            table(
+                "Fig 5c — interference: top-K accuracy",
+                &["K", "Murphy", "Sage", "NetMedic", "ExplainIT"],
+                &rows,
+            )
+        );
+    }
+}
+
+fn run_table1(scale: Scale) {
+    let results = table1::run(&scale.table1());
+    let mut rows: Vec<Vec<String>> = results
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}. {}", r.id, r.description),
+                r.fps[0].to_string(),
+                r.fps[1].to_string(),
+                r.fps[2].to_string(),
+            ]
+        })
+        .collect();
+    let avg = results.average_fps();
+    rows.push(vec![
+        "Average false positives".to_string(),
+        f2(avg[0]),
+        f2(avg[1]),
+        f2(avg[2]),
+    ]);
+    let recall = results.recall();
+    rows.push(vec![
+        "Recall".to_string(),
+        f2(recall[0]),
+        f2(recall[1]),
+        f2(recall[2]),
+    ]);
+    println!(
+        "{}",
+        table(
+            "Table 1 — enterprise incidents: false positives",
+            &["Incident (observed problems)", "Murphy FPs", "NetMedic FPs", "ExplainIT FPs"],
+            &rows,
+        )
+    );
+}
+
+fn run_fig6a() {
+    let trace = fig6::sample_trace(3, 300, 4);
+    println!(
+        "{}",
+        series("Fig 6a — sample latency trace (4 prior incidents, main at the tail)", "time (s)", "latency (ms)", &trace)
+    );
+}
+
+fn run_fig6(scale: Scale) {
+    for app in [fig6::App::SocialNetwork, fig6::App::HotelReservation] {
+        let results = fig6::run(app, &scale.fig6());
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for k in [1usize, 2, 4, 5, 8] {
+            let mut row = vec![format!("top-{k}")];
+            for scheme in SchemeKind::ALL {
+                row.push(pct(results.of(scheme).recall_at(k)));
+            }
+            rows.push(row);
+        }
+        let fig = if app == fig6::App::SocialNetwork { "6b" } else { "6c" };
+        println!(
+            "{}",
+            table(
+                &format!("Fig {fig} — resource contention top-K accuracy ({})", app.label()),
+                &["K", "Murphy", "Sage", "NetMedic", "ExplainIT"],
+                &rows,
+            )
+        );
+    }
+}
+
+fn run_table2(scale: Scale) {
+    let results = table2::run(&scale.table2());
+    let mut header: Vec<&str> = vec!["Scheme"];
+    let col_strings: Vec<String> = results.columns.clone();
+    header.extend(col_strings.iter().map(|s| s.as_str()));
+    header.push("Aggregate");
+    let rows: Vec<Vec<String>> = SchemeKind::ALL
+        .iter()
+        .map(|&k| {
+            let mut row = vec![k.label().to_string()];
+            for v in results.of(k) {
+                row.push(f2(*v));
+            }
+            row.push(f2(results.aggregate(k)));
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        table("Table 2 — robustness to degraded data (recall@5)", &header, &rows)
+    );
+}
+
+fn run_fig7(scale: Scale) {
+    let results = fig7::run(&scale.fig7());
+    let mut rows = vec![
+        vec![
+            "no prior incidents".to_string(),
+            pct(results.no_prior_incidents.0),
+            format!("(top-1: {})", pct(results.no_prior_incidents.1)),
+        ],
+        vec!["trained offline".to_string(), pct(results.trained_offline), String::new()],
+        vec!["on fresh data".to_string(), pct(results.fresh_data), String::new()],
+    ];
+    for (n, r) in &results.n_train_sweep {
+        rows.push(vec![format!("ntrain = {n}"), pct(*r), String::new()]);
+    }
+    println!(
+        "{}",
+        table("Fig 7 — Murphy microbenchmarks (recall@5)", &["configuration", "accuracy", "note"], &rows)
+    );
+}
+
+fn run_fig8a(scale: Scale) {
+    let results = fig8a::run(&scale.fig8a());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for model in ModelKind::ALL {
+        let cdf = results.cdf(model);
+        rows.push(vec![
+            model.label().to_string(),
+            f2(cdf.quantile(0.25).unwrap_or(f64::NAN)),
+            f2(cdf.median().unwrap_or(f64::NAN)),
+            f2(cdf.quantile(0.75).unwrap_or(f64::NAN)),
+            f2(cdf.quantile(0.95).unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &format!("Fig 8a — MASE across {} entities (quartiles of the CDF)", results.entities),
+            &["model", "p25", "median", "p75", "p95"],
+            &rows,
+        )
+    );
+}
+
+fn run_fig8b(scale: Scale) {
+    let results = fig8b::run(&scale.fig8b());
+    let rows: Vec<Vec<String>> = results
+        .per_rounds
+        .iter()
+        .map(|&(rounds, correct, total)| {
+            vec![rounds.to_string(), correct.to_string(), total.to_string()]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            "Fig 8b — Gibbs rounds vs correctly predicted scenarios",
+            &["Gibbs rounds", "correct", "total"],
+            &rows,
+        )
+    );
+}
+
+fn run_cycles() {
+    // §2.2 cycle statistics on an enterprise incident graph.
+    let scenario = murphy_sim::incidents::build_incident(murphy_sim::incidents::TABLE1[0], 1);
+    let stats = CycleStats::count(&scenario.graph);
+    let frac = murphy_graph::cycles::fraction_on_cycles(&scenario.graph);
+    println!(
+        "{}",
+        table(
+            "§2.2 — cycle statistics of an incident relationship graph",
+            &["metric", "value"],
+            &[
+                vec!["entities".into(), scenario.graph.node_count().to_string()],
+                vec!["directed edges".into(), scenario.graph.edge_count().to_string()],
+                vec!["length-2 cycles".into(), stats.len2.to_string()],
+                vec!["length-3 cycles".into(), stats.len3.to_string()],
+                vec!["fraction of entities on a cycle".into(), f2(frac)],
+            ],
+        )
+    );
+}
+
+fn run_sensitivity(scale: Scale) {
+    let config = match scale {
+        Scale::Fast => sensitivity::SensitivityConfig::fast(),
+        Scale::Default => sensitivity::SensitivityConfig {
+            scenarios: 8,
+            ..sensitivity::SensitivityConfig::fast()
+        },
+        Scale::Paper => sensitivity::SensitivityConfig::paper(),
+    };
+    for sweep in [
+        sensitivity::sweep_gibbs_rounds(&config),
+        sensitivity::sweep_subgraph_slack(&config),
+        sensitivity::sweep_model_family(&config),
+    ] {
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|(label, r5, r1)| vec![label.clone(), pct(*r5), pct(*r1)])
+            .collect();
+        println!(
+            "{}",
+            table(
+                &format!("§6.8 sensitivity — {}", sweep.knob),
+                &["setting", "recall@5", "recall@1"],
+                &rows,
+            )
+        );
+    }
+}
+
+fn run_perf(scale: Scale) {
+    let (apps, murphy) = match scale {
+        Scale::Fast => (vec![1usize, 3], MurphyConfig::fast().with_num_samples(100)),
+        Scale::Default => (vec![2usize, 6, 12], MurphyConfig::fast().with_num_samples(400)),
+        Scale::Paper => (vec![6usize, 12, 24, 48], MurphyConfig::paper()),
+    };
+    let points = perf::run(&apps, murphy);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.entities.to_string(),
+                p.edges.to_string(),
+                p.train_slices.to_string(),
+                format!("{:.0}", p.train_ms),
+                p.candidates.to_string(),
+                format!("{:.0}", p.diagnose_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            "§6.7 — runtime vs scale",
+            &["N (entities)", "M (edges)", "T (slices)", "train ms", "candidates", "diagnose ms"],
+            &rows,
+        )
+    );
+}

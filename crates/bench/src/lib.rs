@@ -1,0 +1,19 @@
+//! Benchmark support for the Murphy reproduction.
+//!
+//! This crate hosts two things:
+//!
+//! * the `repro` binary (`cargo run -p murphy-bench --bin repro --release`)
+//!   which regenerates every table and figure of the paper's evaluation as
+//!   text output, and
+//! * Criterion benchmarks (`cargo bench`) timing each experiment family
+//!   plus the §6.7 scaling study.
+//!
+//! [`scale`] maps a user-facing `--scale` knob (fast / default / paper) to
+//! the per-experiment configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scale;
+
+pub use scale::Scale;

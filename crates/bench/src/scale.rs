@@ -1,0 +1,172 @@
+//! Scale presets for the reproduction harness.
+//!
+//! Every experiment runner is scale-configurable. The `repro` binary maps
+//! one knob onto all of them:
+//!
+//! * `fast` — seconds per experiment; CI smoke level.
+//! * `default` — minutes; enough scenarios for stable percentages.
+//! * `paper` — the paper's scenario counts and sample sizes (32
+//!   interference variants, 100 contention scenarios per app, 5,000
+//!   counterfactual samples, ~17K-entity metrics data set). Hours.
+
+use murphy_core::MurphyConfig;
+use murphy_experiments::fig5::Fig5Config;
+use murphy_experiments::fig6::Fig6Config;
+use murphy_experiments::fig7::Fig7Config;
+use murphy_experiments::fig8a::Fig8aConfig;
+use murphy_experiments::fig8b::Fig8bConfig;
+use murphy_experiments::table1::Table1Config;
+use murphy_experiments::table2::Table2Config;
+use murphy_sim::enterprise::EnterpriseConfig;
+
+/// The scale knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI smoke level (seconds).
+    Fast,
+    /// Stable percentages (minutes).
+    Default,
+    /// The paper's scenario counts (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a CLI word.
+    pub fn parse(word: &str) -> Option<Scale> {
+        match word {
+            "fast" => Some(Scale::Fast),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The Murphy engine configuration at this scale.
+    pub fn murphy(self) -> MurphyConfig {
+        match self {
+            Scale::Fast => MurphyConfig::fast(),
+            Scale::Default => MurphyConfig::fast().with_num_samples(1000),
+            Scale::Paper => MurphyConfig::paper(),
+        }
+    }
+
+    /// Figure 5 configuration.
+    pub fn fig5(self) -> Fig5Config {
+        match self {
+            Scale::Fast => Fig5Config::fast(),
+            Scale::Default => Fig5Config {
+                variants: 12,
+                murphy: self.murphy(),
+                ..Fig5Config::fast()
+            },
+            Scale::Paper => Fig5Config::paper(),
+        }
+    }
+
+    /// Figure 6 configuration.
+    pub fn fig6(self) -> Fig6Config {
+        match self {
+            Scale::Fast => Fig6Config::fast(),
+            Scale::Default => Fig6Config {
+                scenarios: 12,
+                max_prior_incidents: 8,
+                murphy: self.murphy(),
+                ..Fig6Config::fast()
+            },
+            Scale::Paper => Fig6Config::paper(),
+        }
+    }
+
+    /// Figure 7 configuration.
+    pub fn fig7(self) -> Fig7Config {
+        match self {
+            Scale::Fast => Fig7Config::fast(),
+            Scale::Default => Fig7Config {
+                scenarios: 10,
+                murphy: self.murphy(),
+                ..Fig7Config::fast()
+            },
+            Scale::Paper => Fig7Config::paper(),
+        }
+    }
+
+    /// Figure 8a configuration.
+    pub fn fig8a(self) -> Fig8aConfig {
+        match self {
+            Scale::Fast => Fig8aConfig::fast(),
+            Scale::Default => Fig8aConfig {
+                enterprise: EnterpriseConfig {
+                    num_apps: 20,
+                    ..EnterpriseConfig::small(8)
+                },
+                max_entities: 400,
+                ..Fig8aConfig::fast()
+            },
+            Scale::Paper => Fig8aConfig::paper(),
+        }
+    }
+
+    /// Figure 8b configuration.
+    pub fn fig8b(self) -> Fig8bConfig {
+        match self {
+            Scale::Fast => Fig8bConfig::fast(),
+            Scale::Default => Fig8bConfig {
+                enterprise: EnterpriseConfig {
+                    num_apps: 12,
+                    ..EnterpriseConfig::small(11)
+                },
+                trials_per_app: 16,
+                murphy: self.murphy(),
+                ..Fig8bConfig::fast()
+            },
+            Scale::Paper => Fig8bConfig::paper(),
+        }
+    }
+
+    /// Table 1 configuration.
+    pub fn table1(self) -> Table1Config {
+        match self {
+            Scale::Fast => Table1Config::fast(),
+            Scale::Default => Table1Config {
+                murphy: self.murphy(),
+                ..Table1Config::fast()
+            },
+            Scale::Paper => Table1Config::paper(),
+        }
+    }
+
+    /// Table 2 configuration.
+    pub fn table2(self) -> Table2Config {
+        match self {
+            Scale::Fast => Table2Config::fast(),
+            Scale::Default => Table2Config {
+                scenarios: 10,
+                murphy: self.murphy(),
+                ..Table2Config::fast()
+            },
+            Scale::Paper => Table2Config::paper(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_words() {
+        assert_eq!(Scale::parse("fast"), Some(Scale::Fast));
+        assert_eq!(Scale::parse("default"), Some(Scale::Default));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scales_are_ordered_by_effort() {
+        assert!(Scale::Fast.fig5().variants < Scale::Default.fig5().variants);
+        assert!(Scale::Default.fig5().variants < Scale::Paper.fig5().variants);
+        assert!(Scale::Fast.murphy().num_samples <= Scale::Paper.murphy().num_samples);
+        assert_eq!(Scale::Paper.fig5().variants, 32);
+        assert_eq!(Scale::Paper.fig6().scenarios, 100);
+    }
+}

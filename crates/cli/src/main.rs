@@ -1,0 +1,261 @@
+//! `murphy` — command-line performance diagnosis.
+//!
+//! ```text
+//! murphy emulate  --app hotel|social --fault cpu|mem|disk|interference
+//!                 [--seed N] [--ticks N] [--causal] --out trace.json
+//! murphy info     trace.json
+//! murphy diagnose trace.json [--fast|--paper] [--top K] [--explain]
+//!                 [--scheme murphy|sage|netmedic|explainit]
+//! ```
+//!
+//! `emulate` generates a fault scenario with the built-in emulators and
+//! writes it as a JSON trace; `info` summarizes a trace (entities, cycle
+//! statistics, symptom); `diagnose` runs a diagnosis scheme on it and
+//! prints the ranked root causes, marking the trace's recorded ground
+//! truth where present.
+
+use murphy_baselines::{DiagnosisScheme, SchemeContext};
+use murphy_core::explain::explain_chain;
+use murphy_core::{Murphy, MurphyConfig};
+use murphy_experiments::schemes::SchemeKind;
+use murphy_graph::{prune_candidates, CycleStats};
+use murphy_sim::faults::FaultKind;
+use murphy_sim::scenario::{FaultPlan, Scenario, ScenarioBuilder};
+use murphy_sim::traces;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command {
+        "emulate" => cmd_emulate(rest),
+        "info" => cmd_info(rest),
+        "diagnose" => cmd_diagnose(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+murphy — performance diagnosis (SIGCOMM 2023 reproduction)
+
+  murphy emulate  --app hotel|social --fault cpu|mem|disk|interference
+                  [--seed N] [--ticks N] [--causal] --out trace.json
+  murphy info     trace.json
+  murphy diagnose trace.json [--fast|--paper] [--top K] [--explain]
+                  [--scheme murphy|sage|netmedic|explainit]";
+
+/// Pull the value following a `--flag`, removing both from `args`.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+/// Pull a boolean `--flag`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(idx) = args.iter().position(|a| a == flag) {
+        args.remove(idx);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_emulate(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let app = take_value(&mut args, "--app").unwrap_or_else(|| "hotel".into());
+    let fault = take_value(&mut args, "--fault").unwrap_or_else(|| "cpu".into());
+    let seed: u64 = take_value(&mut args, "--seed")
+        .map(|s| s.parse().map_err(|_| "invalid --seed"))
+        .transpose()?
+        .unwrap_or(7);
+    let ticks: u64 = take_value(&mut args, "--ticks")
+        .map(|s| s.parse().map_err(|_| "invalid --ticks"))
+        .transpose()?
+        .unwrap_or(300);
+    let causal = take_flag(&mut args, "--causal");
+    let out = PathBuf::from(
+        take_value(&mut args, "--out").ok_or("missing --out <file>")?,
+    );
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}"));
+    }
+
+    let builder = match app.as_str() {
+        "hotel" => ScenarioBuilder::hotel_reservation(seed),
+        "social" => ScenarioBuilder::social_network(seed),
+        other => return Err(format!("unknown app '{other}' (hotel|social)")),
+    };
+    let plan = match fault.as_str() {
+        "cpu" => FaultPlan::contention(FaultKind::Cpu, 1.4),
+        "mem" => FaultPlan::contention(FaultKind::Mem, 1.4),
+        "disk" => FaultPlan::contention(FaultKind::Disk, 1.4),
+        "interference" => FaultPlan::interference(1.2),
+        other => return Err(format!("unknown fault '{other}'")),
+    };
+    let scenario = builder
+        .with_fault(plan)
+        .with_ticks(ticks)
+        .with_causal_edges(causal)
+        .build();
+    traces::save(&scenario, &out).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} entities, symptom: {} {})",
+        out.display(),
+        scenario.db.entity_count(),
+        scenario
+            .db
+            .entity(scenario.symptom.entity)
+            .map(|e| e.describe())
+            .unwrap_or_default(),
+        scenario.symptom.metric,
+    );
+    Ok(())
+}
+
+fn load_trace(args: &[String]) -> Result<(Scenario, Vec<String>), String> {
+    let mut args = args.to_vec();
+    let path_idx = args
+        .iter()
+        .position(|a| !a.starts_with("--"))
+        .ok_or("missing trace file argument")?;
+    let path = PathBuf::from(args.remove(path_idx));
+    let scenario =
+        traces::load(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+    Ok((scenario, args))
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let (scenario, rest) = load_trace(args)?;
+    if !rest.is_empty() {
+        return Err(format!("unexpected arguments: {rest:?}"));
+    }
+    println!("trace: {}", scenario.name);
+    println!("entities: {}", scenario.db.entity_count());
+    println!(
+        "graph: {} nodes, {} directed edges",
+        scenario.graph.node_count(),
+        scenario.graph.edge_count()
+    );
+    let cycles = CycleStats::count(&scenario.graph);
+    println!("cycles: {} len-2, {} len-3", cycles.len2, cycles.len3);
+    println!(
+        "symptom: {} {} = {:.2} (incident from tick {})",
+        scenario
+            .db
+            .entity(scenario.symptom.entity)
+            .map(|e| e.describe())
+            .unwrap_or_default(),
+        scenario.symptom.metric,
+        scenario.db.current_value(scenario.symptom.metric_id()),
+        scenario.incident_start_tick
+    );
+    for t in &scenario.ground_truth {
+        println!(
+            "ground truth: {}",
+            scenario.db.entity(*t).map(|e| e.describe()).unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(args: &[String]) -> Result<(), String> {
+    let (scenario, mut rest) = load_trace(args)?;
+    let paper = take_flag(&mut rest, "--paper");
+    let _fast = take_flag(&mut rest, "--fast");
+    let explain = take_flag(&mut rest, "--explain");
+    let top: usize = take_value(&mut rest, "--top")
+        .map(|s| s.parse().map_err(|_| "invalid --top"))
+        .transpose()?
+        .unwrap_or(5);
+    let scheme_word =
+        take_value(&mut rest, "--scheme").unwrap_or_else(|| "murphy".into());
+    if !rest.is_empty() {
+        return Err(format!("unexpected arguments: {rest:?}"));
+    }
+    let config = if paper {
+        MurphyConfig::paper()
+    } else {
+        MurphyConfig::fast()
+    };
+
+    let ranked: Vec<murphy_telemetry::EntityId> = if scheme_word == "murphy" {
+        // Full pipeline with explanations available.
+        let murphy = Murphy::new(config);
+        let report = murphy.diagnose(&scenario.db, &scenario.graph, &scenario.symptom);
+        println!(
+            "evaluated {} candidates ({} pruned)",
+            report.candidates_evaluated, report.candidates_pruned
+        );
+        report.root_causes.iter().map(|r| r.entity).collect()
+    } else {
+        let kind = match scheme_word.as_str() {
+            "sage" => SchemeKind::Sage,
+            "netmedic" => SchemeKind::NetMedic,
+            "explainit" => SchemeKind::ExplainIt,
+            other => return Err(format!("unknown scheme '{other}'")),
+        };
+        let candidates =
+            prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+        let scheme: Box<dyn DiagnosisScheme> = kind.build(config);
+        scheme.diagnose(&SchemeContext {
+            db: &scenario.db,
+            graph: &scenario.graph,
+            symptom: scenario.symptom,
+            candidates: &candidates,
+            n_train: config.n_train,
+        })
+    };
+
+    if ranked.is_empty() {
+        println!("no root causes reported");
+        return Ok(());
+    }
+    for (i, entity) in ranked.iter().take(top).enumerate() {
+        let name = scenario
+            .db
+            .entity(*entity)
+            .map(|e| e.describe())
+            .unwrap_or_default();
+        let marker = if scenario.ground_truth.contains(entity) {
+            "  <-- ground truth"
+        } else {
+            ""
+        };
+        println!("{}. {}{}", i + 1, name, marker);
+        if explain {
+            if let Some(chain) = explain_chain(
+                &scenario.db,
+                &scenario.graph,
+                *entity,
+                scenario.symptom.entity,
+                config.threshold_scale,
+            ) {
+                for line in chain.render().lines() {
+                    println!("   {line}");
+                }
+            }
+        }
+    }
+    Ok(())
+}

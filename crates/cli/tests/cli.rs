@@ -1,0 +1,100 @@
+//! End-to-end tests of the `murphy` binary: emulate → info → diagnose.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn murphy_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_murphy"))
+}
+
+fn temp_trace(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("murphy-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn emulate_info_diagnose_round_trip() {
+    let trace = temp_trace("roundtrip.json");
+    let out = murphy_bin()
+        .args(["emulate", "--app", "hotel", "--fault", "cpu", "--seed", "3", "--ticks", "220"])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("run emulate");
+    assert!(out.status.success(), "emulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    let out = murphy_bin()
+        .arg("info")
+        .arg(&trace)
+        .output()
+        .expect("run info");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("entities:"), "{text}");
+    assert!(text.contains("symptom:"), "{text}");
+    assert!(text.contains("ground truth:"), "{text}");
+
+    let out = murphy_bin()
+        .args(["diagnose"])
+        .arg(&trace)
+        .args(["--top", "5"])
+        .output()
+        .expect("run diagnose");
+    assert!(out.status.success(), "diagnose failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1. "), "no ranked output: {text}");
+    // The CPU-contention scenario is reliably diagnosed at this seed.
+    assert!(text.contains("ground truth"), "ground truth unmarked: {text}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn diagnose_with_baseline_scheme() {
+    let trace = temp_trace("baseline.json");
+    let status = murphy_bin()
+        .args(["emulate", "--app", "hotel", "--fault", "mem", "--seed", "5", "--ticks", "200", "--causal"])
+        .args(["--out", trace.to_str().unwrap()])
+        .status()
+        .expect("run emulate");
+    assert!(status.success());
+
+    for scheme in ["netmedic", "explainit", "sage"] {
+        let out = murphy_bin()
+            .arg("diagnose")
+            .arg(&trace)
+            .args(["--scheme", scheme])
+            .output()
+            .expect("run diagnose");
+        assert!(out.status.success(), "{scheme} failed: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    // Unknown command.
+    let out = murphy_bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    // Missing trace file.
+    let out = murphy_bin().args(["info", "/nonexistent/trace.json"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    // Unknown app.
+    let out = murphy_bin()
+        .args(["emulate", "--app", "nope", "--out", "/tmp/x.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Missing --out.
+    let out = murphy_bin().args(["emulate", "--app", "hotel"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = murphy_bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("murphy emulate"));
+}

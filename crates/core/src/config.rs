@@ -1,0 +1,168 @@
+//! Murphy's configuration.
+//!
+//! All the paper's tunables live here with their published defaults: W = 4
+//! Gibbs passes, 5,000 counterfactual samples, B = 10 features per factor,
+//! a few hundred training points from the week before the incident, the
+//! 2σ counterfactual offset, and the conservative pruning thresholds.
+
+use murphy_learn::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Murphy diagnosis engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MurphyConfig {
+    /// Model family for the factors (§6.6.1 picks ridge).
+    pub model: ModelKind,
+    /// Number of training time slices — "one week prior to the incident,
+    /// which ... constitutes of a few hundred time points" (§4.2).
+    pub n_train: usize,
+    /// Feature budget B per factor (the "one in ten rule", §4.2).
+    pub feature_budget: usize,
+    /// Gibbs passes W over the shortest-path subgraph (§6.8 settles on 4).
+    pub gibbs_rounds: usize,
+    /// Slack on the shortest-path subgraph: nodes on walks up to
+    /// `dist(A,D) + slack` are resampled. Influence routinely detours one
+    /// hop off the shortest path (e.g. service → container → service), so
+    /// a strict shortest-path subgraph (slack 0) can fail to propagate a
+    /// counterfactual at all.
+    pub subgraph_slack: usize,
+    /// Counterfactual and factual samples each for the t-test (paper: 5000).
+    pub num_samples: usize,
+    /// Significance level for the Welch t-test decision.
+    pub alpha: f64,
+    /// Counterfactual offset in historical standard deviations (paper: 2).
+    pub counterfactual_sigmas: f64,
+    /// Minimum effect size: the counterfactual must relieve the symptom by
+    /// at least this many historical standard deviations of the symptom
+    /// metric, in addition to t-test significance. With thousands of
+    /// samples the t-test alone flags negligible-but-real influences
+    /// (statistical vs. practical significance); this guard keeps the
+    /// false-positive behaviour the paper reports.
+    pub min_relief_sigmas: f64,
+    /// Scale on the conservative pruning/labeling thresholds (1.0 = the
+    /// paper's values).
+    pub threshold_scale: f64,
+    /// Saturation on the anomaly score used for ranking. Every metric far
+    /// beyond this many reference standard deviations is "maximally
+    /// anomalous"; among saturated candidates the ranking prefers the one
+    /// *farthest* from the symptom — the most upstream confirmed cause —
+    /// instead of comparing meaningless 100σ-vs-200σ values.
+    pub anomaly_saturation: f64,
+    /// Maximum candidates to evaluate (0 = unlimited). A safety valve for
+    /// very large graphs; the paper relies on pruning alone.
+    pub max_candidates: usize,
+    /// Base RNG seed; per-candidate streams derive from it.
+    pub seed: u64,
+    /// Evaluate candidates on multiple threads.
+    pub parallel: bool,
+}
+
+impl MurphyConfig {
+    /// The paper's published parameters.
+    pub fn paper() -> Self {
+        Self {
+            model: ModelKind::Ridge,
+            n_train: 300,
+            feature_budget: 10,
+            gibbs_rounds: 4,
+            subgraph_slack: 2,
+            num_samples: 5000,
+            alpha: 0.05,
+            counterfactual_sigmas: 2.0,
+            min_relief_sigmas: 0.25,
+            threshold_scale: 1.0,
+            anomaly_saturation: 20.0,
+            max_candidates: 0,
+            seed: 0x4d55_5250, // "MURP"
+            parallel: true,
+        }
+    }
+
+    /// Reduced sample counts for tests, examples, and CI — same algorithm,
+    /// ~10× faster, still statistically decisive on the emulated scenarios.
+    pub fn fast() -> Self {
+        Self {
+            n_train: 120,
+            num_samples: 400,
+            ..Self::paper()
+        }
+    }
+
+    /// Builder-style: set the factor model family.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Builder-style: set the training-window length.
+    pub fn with_n_train(mut self, n_train: usize) -> Self {
+        self.n_train = n_train;
+        self
+    }
+
+    /// Builder-style: set the Gibbs pass count W.
+    pub fn with_gibbs_rounds(mut self, w: usize) -> Self {
+        self.gibbs_rounds = w;
+        self
+    }
+
+    /// Builder-style: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the per-side sample count.
+    pub fn with_num_samples(mut self, n: usize) -> Self {
+        self.num_samples = n;
+        self
+    }
+}
+
+impl Default for MurphyConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_publication() {
+        let c = MurphyConfig::paper();
+        assert_eq!(c.gibbs_rounds, 4);
+        assert_eq!(c.num_samples, 5000);
+        assert_eq!(c.feature_budget, 10);
+        assert_eq!(c.counterfactual_sigmas, 2.0);
+        assert_eq!(c.model, ModelKind::Ridge);
+        assert!(c.n_train >= 200 && c.n_train <= 500, "a few hundred points");
+    }
+
+    #[test]
+    fn fast_reduces_only_sampling_effort() {
+        let p = MurphyConfig::paper();
+        let f = MurphyConfig::fast();
+        assert!(f.num_samples < p.num_samples);
+        assert!(f.n_train < p.n_train);
+        assert_eq!(f.gibbs_rounds, p.gibbs_rounds);
+        assert_eq!(f.model, p.model);
+        assert_eq!(f.counterfactual_sigmas, p.counterfactual_sigmas);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MurphyConfig::fast()
+            .with_model(ModelKind::Mlp)
+            .with_gibbs_rounds(8)
+            .with_n_train(64)
+            .with_num_samples(100)
+            .with_seed(9);
+        assert_eq!(c.model, ModelKind::Mlp);
+        assert_eq!(c.gibbs_rounds, 8);
+        assert_eq!(c.n_train, 64);
+        assert_eq!(c.num_samples, 100);
+        assert_eq!(c.seed, 9);
+    }
+}

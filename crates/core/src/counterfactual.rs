@@ -1,0 +1,292 @@
+//! Counterfactual candidate evaluation (§4.2, steps 1–4).
+//!
+//! To test whether entity `A` is a root cause for the symptom `(M_o, E_o)`:
+//!
+//! 1. set `A`'s most anomalous metric to a counterfactual value 2σ toward
+//!    normal;
+//! 2. resample the shortest-path subgraph `T(A→E_o)` in increasing
+//!    distance from `A`, `W` times;
+//! 3. read a resampled value of the symptom metric — one `d1` sample;
+//!    repeat with `A`'s *factual* current value for `d2`;
+//! 4. generate `num_samples` of each and run a Welch t-test: if the `d1`
+//!    samples are significantly below the `d2` samples (for a
+//!    problematically-high symptom), `A` is a root cause.
+
+use crate::config::MurphyConfig;
+use crate::diagnose::Symptom;
+use crate::mrf::MrfModel;
+use crate::sampler::{resample_subgraph, touched_positions};
+use murphy_graph::{RelationshipGraph, ShortestPathSubgraph};
+use murphy_stats::{welch_t_test, TTestResult};
+use murphy_telemetry::EntityId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of evaluating one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateVerdict {
+    /// Whether the t-test declared the candidate a root cause.
+    pub is_root_cause: bool,
+    /// Mean of the counterfactual samples d1.
+    pub counterfactual_mean: f64,
+    /// Mean of the factual samples d2.
+    pub factual_mean: f64,
+    /// One-sided p-value of the decisive comparison.
+    pub p_value: f64,
+    /// Graph distance from the candidate to the symptom entity.
+    pub distance: usize,
+}
+
+/// Evaluate one candidate root cause against the symptom.
+///
+/// Returns `None` when the candidate cannot influence the symptom at all:
+/// it has no path to the symptom entity, no metrics, or its state is
+/// already at the counterfactual (no anomaly to undo).
+pub fn evaluate_candidate(
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    candidate: EntityId,
+    config: &MurphyConfig,
+    seed: u64,
+) -> Option<CandidateVerdict> {
+    let symptom_pos = mrf.index.position(symptom.metric_id())?;
+    let subgraph = ShortestPathSubgraph::compute_with_slack(
+        graph,
+        candidate,
+        symptom.entity,
+        config.subgraph_slack,
+    )?;
+
+    // The counterfactual state of A: every anomalous metric of the entity
+    // (z ≥ 1) moved `counterfactual_sigmas` toward normal. Figure 3 treats
+    // the entity's state as the MRF variable ("change A to A*"); with
+    // multiple metrics per entity that means pinning all the anomalous
+    // ones, not just the single most anomalous (whose identity is noisy
+    // when the incident inflates every σ).
+    let mut pins: Vec<(usize, f64, f64)> = mrf
+        .index
+        .entity_positions(candidate)
+        .iter()
+        .filter(|&&p| mrf.metric_anomaly(p) >= 1.0)
+        .map(|&p| {
+            (
+                p,
+                mrf.counterfactual_value(p, config.counterfactual_sigmas),
+                mrf.current[p],
+            )
+        })
+        .filter(|&(_, cf, cur)| (cf - cur).abs() > 1e-12)
+        .collect();
+    if pins.is_empty() {
+        // Nothing anomalous: fall back to the single most anomalous metric.
+        let p = mrf.most_anomalous_metric(candidate)?;
+        let cf = mrf.counterfactual_value(p, config.counterfactual_sigmas);
+        if (cf - mrf.current[p]).abs() < 1e-12 {
+            return None; // nothing to change
+        }
+        pins.push((p, cf, mrf.current[p]));
+    }
+
+    let touched = touched_positions(mrf, graph, &subgraph);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.num_samples.max(2);
+
+    let mut state = mrf.current.clone();
+    let saved: Vec<f64> = touched.iter().map(|&p| state[p]).collect();
+    let mut draw = |counterfactual: bool, rng: &mut StdRng| -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Restore the touched region, pin A's state, resample.
+            for (&p, &v) in touched.iter().zip(&saved) {
+                state[p] = v;
+            }
+            for &(p, cf, cur) in &pins {
+                state[p] = if counterfactual { cf } else { cur };
+            }
+            resample_subgraph(mrf, graph, &subgraph, &mut state, config.gibbs_rounds, rng);
+            out.push(state[symptom_pos]);
+            for &(p, _, cur) in &pins {
+                state[p] = cur;
+            }
+        }
+        out
+    };
+
+    let d1 = draw(true, &mut rng);
+    let d2 = draw(false, &mut rng);
+    let ttest: TTestResult = welch_t_test(&d1, &d2);
+
+    // For a problematically *high* symptom, the counterfactual must lower
+    // it; for a low symptom (e.g. collapsed throughput), raise it. In
+    // addition to significance, the relief must be practically meaningful
+    // relative to the symptom metric's historical variation — with 5,000
+    // samples the t-test alone flags negligible-but-real influences.
+    let symptom_std = mrf.history[symptom_pos].std_dev_floored(1e-6);
+    let min_relief = config.min_relief_sigmas * symptom_std;
+    let relief = mean(&d2) - mean(&d1); // positive when counterfactual lowers
+    let (is_root_cause, p_value) = if symptom.is_high() {
+        (
+            ttest.significantly_less(config.alpha) && relief >= min_relief,
+            ttest.p_less,
+        )
+    } else {
+        (
+            ttest.significantly_greater(config.alpha) && -relief >= min_relief,
+            ttest.p_greater,
+        )
+    };
+
+    Some(CandidateVerdict {
+        is_root_cause,
+        counterfactual_mean: mean(&d1),
+        factual_mean: mean(&d2),
+        p_value,
+        distance: subgraph.distance,
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnose::{ProblemDirection, Symptom};
+    use crate::training::{train_mrf, TrainingWindow};
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind, MonitoringDb};
+
+    /// driver → victim coupling plus an innocent bystander: the driver's
+    /// CPU determines the victim's CPU; the bystander wiggles on its own.
+    /// During the "incident" (last ticks) the driver spikes and the victim
+    /// follows.
+    fn incident_env() -> (
+        MonitoringDb,
+        RelationshipGraph,
+        EntityId, // driver (true root cause)
+        EntityId, // victim (symptom entity)
+        EntityId, // bystander
+    ) {
+        let mut db = MonitoringDb::new(10);
+        let driver = db.add_entity(EntityKind::Vm, "driver");
+        let victim = db.add_entity(EntityKind::Vm, "victim");
+        let bystander = db.add_entity(EntityKind::Vm, "bystander");
+        db.relate(driver, victim, AssociationKind::Related);
+        db.relate(bystander, victim, AssociationKind::Related);
+        for t in 0..200u64 {
+            let spike = if t >= 180 { 60.0 } else { 0.0 };
+            let drv = 15.0 + 5.0 * ((t as f64) * 0.37).sin() + spike;
+            let by = 20.0 + 5.0 * ((t as f64) * 0.53).cos();
+            db.record(driver, MetricKind::CpuUtil, t, drv);
+            db.record(bystander, MetricKind::CpuUtil, t, by);
+            db.record(victim, MetricKind::CpuUtil, t, 0.9 * drv + 0.05 * by + 3.0);
+        }
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        (db, graph, driver, victim, bystander)
+    }
+
+    fn setup() -> (MrfModel, RelationshipGraph, Symptom, EntityId, EntityId) {
+        let (db, graph, driver, victim, bystander) = incident_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 150), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        (mrf, graph, symptom, driver, bystander)
+    }
+
+    #[test]
+    fn true_root_cause_is_confirmed() {
+        let (mrf, graph, symptom, driver, _) = setup();
+        let config = MurphyConfig::fast();
+        let verdict = evaluate_candidate(&mrf, &graph, &symptom, driver, &config, 11)
+            .expect("driver has a path and metrics");
+        assert!(verdict.is_root_cause, "verdict: {verdict:?}");
+        assert!(verdict.counterfactual_mean < verdict.factual_mean);
+        assert_eq!(verdict.distance, 1);
+    }
+
+    #[test]
+    fn weak_influence_is_rejected() {
+        let (mrf, graph, symptom, _, bystander) = setup();
+        let config = MurphyConfig::fast();
+        // The bystander has a path to the victim but its influence weight
+        // is ~0.05 and it is not anomalous; lowering it barely moves the
+        // victim. It may be evaluated, but must not be confirmed.
+        if let Some(verdict) =
+            evaluate_candidate(&mrf, &graph, &symptom, bystander, &config, 12)
+        {
+            assert!(
+                !verdict.is_root_cause,
+                "bystander wrongly confirmed: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_candidate_is_skipped() {
+        let (db, _, _, victim, _) = incident_env();
+        // Fresh graph with an isolated node.
+        let mut db2 = db.clone();
+        let loner = db2.add_entity(EntityKind::Vm, "loner");
+        for t in 0..200u64 {
+            db2.record(loner, MetricKind::CpuUtil, t, 80.0);
+        }
+        let graph = build_from_seeds(&db2, &[victim], BuildOptions::default());
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db2, &graph, &config, TrainingWindow::online(&db2, 150), db2.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        assert!(evaluate_candidate(&mrf, &graph, &symptom, loner, &config, 1).is_none());
+    }
+
+    #[test]
+    fn missing_symptom_metric_is_skipped() {
+        let (mrf, graph, _, driver, _) = setup();
+        let config = MurphyConfig::fast();
+        let bogus = Symptom::high(EntityId(999), MetricKind::Latency);
+        assert!(evaluate_candidate(&mrf, &graph, &bogus, driver, &config, 1).is_none());
+    }
+
+    #[test]
+    fn low_symptom_reverses_the_test() {
+        // Build an env where the driver's spike *lowers* the victim's
+        // throughput; diagnosing the LOW symptom should confirm the driver.
+        let mut db = MonitoringDb::new(10);
+        let driver = db.add_entity(EntityKind::Vm, "driver");
+        let victim = db.add_entity(EntityKind::Flow, "victim-flow");
+        db.relate(driver, victim, AssociationKind::Related);
+        for t in 0..200u64 {
+            let spike = if t >= 180 { 70.0 } else { 0.0 };
+            let drv = 10.0 + 4.0 * ((t as f64) * 0.41).sin() + spike;
+            db.record(driver, MetricKind::CpuUtil, t, drv);
+            // Throughput collapses as driver CPU rises.
+            db.record(victim, MetricKind::Throughput, t, (2000.0 - 20.0 * drv).max(0.0));
+        }
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 150), db.latest_tick());
+        let symptom = Symptom {
+            entity: victim,
+            metric: MetricKind::Throughput,
+            direction: ProblemDirection::Low,
+        };
+        let verdict = evaluate_candidate(&mrf, &graph, &symptom, driver, &config, 5)
+            .expect("reachable");
+        assert!(verdict.is_root_cause, "verdict: {verdict:?}");
+        assert!(verdict.counterfactual_mean > verdict.factual_mean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mrf, graph, symptom, driver, _) = setup();
+        let config = MurphyConfig::fast();
+        let a = evaluate_candidate(&mrf, &graph, &symptom, driver, &config, 42).unwrap();
+        let b = evaluate_candidate(&mrf, &graph, &symptom, driver, &config, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,314 @@
+//! The per-symptom diagnosis loop (§4.2).
+//!
+//! For one problematic symptom, Murphy:
+//!
+//! 1. trains the MRF online,
+//! 2. prunes the candidate space with the conservative-threshold BFS,
+//! 3. evaluates every surviving candidate with the counterfactual test
+//!    (in parallel — the evaluations are independent),
+//! 4. ranks the confirmed root causes by anomaly score.
+
+use crate::config::MurphyConfig;
+use crate::counterfactual::{evaluate_candidate, CandidateVerdict};
+use crate::mrf::MrfModel;
+use crate::ranking::rank_root_causes;
+use murphy_graph::{prune_candidates, RelationshipGraph};
+use murphy_telemetry::{EntityId, MetricId, MetricKind, MonitoringDb};
+use serde::{Deserialize, Serialize};
+
+/// Whether the symptom metric is problematically high or low.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProblemDirection {
+    /// The metric is anomalously high (latency, CPU, drops — the common
+    /// case in the paper).
+    High,
+    /// The metric is anomalously low (collapsed throughput, vanished
+    /// request rate).
+    Low,
+}
+
+/// A problematic symptom `(M_o, E_o)` to diagnose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symptom {
+    /// The observed entity `E_o`.
+    pub entity: EntityId,
+    /// The problematic metric `M_o`.
+    pub metric: MetricKind,
+    /// Problem direction.
+    pub direction: ProblemDirection,
+}
+
+impl Symptom {
+    /// A problematically high metric (the common case).
+    pub fn high(entity: EntityId, metric: MetricKind) -> Self {
+        Self {
+            entity,
+            metric,
+            direction: ProblemDirection::High,
+        }
+    }
+
+    /// A problematically low metric.
+    pub fn low(entity: EntityId, metric: MetricKind) -> Self {
+        Self {
+            entity,
+            metric,
+            direction: ProblemDirection::Low,
+        }
+    }
+
+    /// The symptom's metric id.
+    pub fn metric_id(&self) -> MetricId {
+        MetricId::new(self.entity, self.metric)
+    }
+
+    /// True when the problem is a high value.
+    pub fn is_high(&self) -> bool {
+        self.direction == ProblemDirection::High
+    }
+}
+
+/// One confirmed root cause, ranked.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedRootCause {
+    /// The root-cause entity `E_r`.
+    pub entity: EntityId,
+    /// The entity's most anomalous metric `M_r` (the implicated one).
+    pub metric: MetricKind,
+    /// Anomaly score (standard deviations from historical mean) — the
+    /// ranking key, descending.
+    pub score: f64,
+    /// The counterfactual verdict that confirmed this candidate.
+    pub verdict: CandidateVerdict,
+}
+
+/// The result of diagnosing one symptom.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DiagnosisReport {
+    /// Confirmed root causes, best first.
+    pub root_causes: Vec<RankedRootCause>,
+    /// How many candidates survived pruning and were evaluated.
+    pub candidates_evaluated: usize,
+    /// How many candidates the pruning BFS discarded up front.
+    pub candidates_pruned: usize,
+}
+
+impl DiagnosisReport {
+    /// The entities of the top-k root causes.
+    pub fn top_k(&self, k: usize) -> Vec<EntityId> {
+        self.root_causes.iter().take(k).map(|r| r.entity).collect()
+    }
+
+    /// 1-based rank of an entity in the output, if present.
+    pub fn rank_of(&self, entity: EntityId) -> Option<usize> {
+        self.root_causes
+            .iter()
+            .position(|r| r.entity == entity)
+            .map(|i| i + 1)
+    }
+}
+
+/// Run the full candidate loop for one symptom against a trained MRF.
+///
+/// `candidates` is normally the output of [`prune_candidates`]; callers
+/// that need the unpruned space (ablations) can pass all graph entities.
+pub fn diagnose_with_candidates(
+    db: &MonitoringDb,
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    candidates: &[EntityId],
+    config: &MurphyConfig,
+) -> DiagnosisReport {
+    let capped: Vec<EntityId> = if config.max_candidates > 0 {
+        candidates.iter().copied().take(config.max_candidates).collect()
+    } else {
+        candidates.to_vec()
+    };
+
+    let verdicts: Vec<(EntityId, Option<CandidateVerdict>)> = if config.parallel && capped.len() > 1 {
+        parallel_evaluate(mrf, graph, symptom, &capped, config)
+    } else {
+        capped
+            .iter()
+            .map(|&c| {
+                let seed = candidate_seed(config.seed, c);
+                (c, evaluate_candidate(mrf, graph, symptom, c, config, seed))
+            })
+            .collect()
+    };
+
+    let confirmed: Vec<(EntityId, CandidateVerdict)> = verdicts
+        .into_iter()
+        .filter_map(|(e, v)| v.filter(|v| v.is_root_cause).map(|v| (e, v)))
+        .collect();
+
+    let root_causes = rank_root_causes(db, mrf, confirmed, config.anomaly_saturation);
+    DiagnosisReport {
+        candidates_evaluated: capped.len(),
+        candidates_pruned: candidates.len().saturating_sub(capped.len()),
+        root_causes,
+    }
+}
+
+/// Full pipeline entry: prune from the symptom entity, then evaluate.
+pub fn diagnose_symptom(
+    db: &MonitoringDb,
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    config: &MurphyConfig,
+) -> DiagnosisReport {
+    let candidates = prune_candidates(db, graph, symptom.entity, config.threshold_scale);
+    let total_entities = graph.node_count();
+    let mut report = diagnose_with_candidates(db, mrf, graph, symptom, &candidates, config);
+    report.candidates_pruned = total_entities.saturating_sub(candidates.len() + 1);
+    report
+}
+
+/// Deterministic per-candidate seed derivation: independent of evaluation
+/// order, so parallel and sequential runs agree.
+fn candidate_seed(base: u64, candidate: EntityId) -> u64 {
+    base ^ (candidate.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn parallel_evaluate(
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    candidates: &[EntityId],
+    config: &MurphyConfig,
+) -> Vec<(EntityId, Option<CandidateVerdict>)> {
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(candidates.len());
+    let mut results: Vec<Option<(EntityId, Option<CandidateVerdict>)>> =
+        vec![None; candidates.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                let c = candidates[i];
+                let seed = candidate_seed(config.seed, c);
+                let verdict = evaluate_candidate(mrf, graph, symptom, c, config, seed);
+                results_mutex.lock()[i] = Some((c, verdict));
+            });
+        }
+    })
+    .expect("candidate evaluation thread panicked");
+
+    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_mrf, TrainingWindow};
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MonitoringDb};
+
+    /// Star around a victim: one genuinely-coupled hot driver, one hot but
+    /// uncoupled red herring, several cold bystanders.
+    fn star_env() -> (MonitoringDb, RelationshipGraph, EntityId, EntityId, EntityId) {
+        let mut db = MonitoringDb::new(10);
+        let victim = db.add_entity(EntityKind::Vm, "victim");
+        let driver = db.add_entity(EntityKind::Vm, "driver");
+        let herring = db.add_entity(EntityKind::Vm, "herring");
+        db.relate(driver, victim, AssociationKind::Related);
+        db.relate(herring, victim, AssociationKind::Related);
+        let cold: Vec<EntityId> = (0..3)
+            .map(|i| {
+                let c = db.add_entity(EntityKind::Vm, format!("cold{i}"));
+                db.relate(c, victim, AssociationKind::Related);
+                c
+            })
+            .collect();
+        for t in 0..220u64 {
+            let spike = if t >= 200 { 55.0 } else { 0.0 };
+            let drv = 12.0 + 6.0 * ((t as f64) * 0.31).sin() + spike;
+            // The herring is hot during the incident but uncorrelated with
+            // the victim historically (independent wiggle + its own spike).
+            let her = 14.0 + 6.0 * ((t as f64) * 1.7).cos() + if t >= 200 { 40.0 } else { 0.0 };
+            db.record(driver, MetricKind::CpuUtil, t, drv);
+            db.record(herring, MetricKind::CpuUtil, t, her);
+            db.record(victim, MetricKind::CpuUtil, t, (0.95 * drv + 4.0).min(100.0));
+            for &c in &cold {
+                db.record(c, MetricKind::CpuUtil, t, 3.0);
+            }
+        }
+        let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+        (db, graph, victim, driver, herring)
+    }
+
+    #[test]
+    fn end_to_end_confirms_driver_and_prunes_cold() {
+        let (db, graph, victim, driver, _) = star_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        let report = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+        assert!(
+            report.top_k(5).contains(&driver),
+            "driver missing from {:?}",
+            report.root_causes
+        );
+        // Cold bystanders (CPU 3% < 25% threshold) never get evaluated.
+        assert!(report.candidates_evaluated <= 2, "evaluated {}", report.candidates_evaluated);
+        assert!(report.candidates_pruned >= 3);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (db, graph, victim, _, _) = star_env();
+        let mut config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        config.parallel = false;
+        let seq = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+        config.parallel = true;
+        let par = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+        assert_eq!(seq.top_k(10), par.top_k(10));
+    }
+
+    #[test]
+    fn max_candidates_caps_evaluation() {
+        let (db, graph, victim, _, _) = star_env();
+        let mut config = MurphyConfig::fast();
+        config.max_candidates = 1;
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        let report = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+        assert_eq!(report.candidates_evaluated, 1);
+    }
+
+    #[test]
+    fn report_rank_queries() {
+        let (db, graph, victim, driver, _) = star_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        let report = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+        if let Some(rank) = report.rank_of(driver) {
+            assert!(rank >= 1);
+            assert!(report.top_k(rank).contains(&driver));
+        }
+        assert_eq!(report.rank_of(EntityId(12345)), None);
+        assert!(report.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn symptom_constructors() {
+        let s = Symptom::high(EntityId(1), MetricKind::Latency);
+        assert!(s.is_high());
+        let s = Symptom::low(EntityId(1), MetricKind::Throughput);
+        assert!(!s.is_high());
+        assert_eq!(s.metric_id(), MetricId::new(EntityId(1), MetricKind::Throughput));
+    }
+}

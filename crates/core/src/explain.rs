@@ -1,0 +1,227 @@
+//! Explanation chains (§4.3).
+//!
+//! After diagnosis, Murphy produces a human-readable causal chain from
+//! each root cause back to the symptom: a path through the relationship
+//! graph in which every entity carries a non-Okay label and every hop
+//! respects the Figure 4 label-causality rules. This step never changes
+//! which root causes are selected — it only provides plausible intuition
+//! for them.
+
+use crate::labels::{label_entity, EntityLabel};
+use murphy_graph::RelationshipGraph;
+use murphy_telemetry::{EntityId, MonitoringDb};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One hop of an explanation chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExplanationStep {
+    /// The entity at this hop.
+    pub entity: EntityId,
+    /// Its label at diagnosis time.
+    pub label: EntityLabel,
+    /// Rendered description, e.g. `"VM backend-1: degraded performance"`.
+    pub text: String,
+}
+
+/// A causal chain from a root cause to the symptom entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Steps in causal order: root cause first, symptom last.
+    pub steps: Vec<ExplanationStep>,
+}
+
+impl Explanation {
+    /// Multi-line rendering (one line per step, arrows between).
+    pub fn render(&self) -> String {
+        self.steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    s.text.clone()
+                } else {
+                    format!("→ {}", s.text)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The chain's entities in causal order.
+    pub fn entities(&self) -> Vec<EntityId> {
+        self.steps.iter().map(|s| s.entity).collect()
+    }
+}
+
+/// Trace an explanation chain from `root_cause` to `symptom_entity`.
+///
+/// BFS over the relationship graph's directed edges restricted to hops
+/// `u → v` where `label(u).can_cause(label(v))` and `label(v) != Okay`
+/// (the root cause itself must also be non-Okay). Returns `None` when no
+/// label-respecting path exists — the root cause still stands, it just
+/// gets no narrative.
+pub fn explain_chain(
+    db: &MonitoringDb,
+    graph: &RelationshipGraph,
+    root_cause: EntityId,
+    symptom_entity: EntityId,
+    threshold_scale: f64,
+) -> Option<Explanation> {
+    let start = graph.node(root_cause)?;
+    let goal = graph.node(symptom_entity)?;
+
+    // Label every graph entity once.
+    let labels: Vec<EntityLabel> = graph
+        .entities()
+        .iter()
+        .map(|&e| label_entity(db, e, threshold_scale))
+        .collect();
+    if labels[start] == EntityLabel::Okay {
+        return None;
+    }
+
+    // BFS respecting label causality.
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::from([start]);
+    parent.insert(start, start);
+    while let Some(u) = queue.pop_front() {
+        if u == goal {
+            break;
+        }
+        for &v in graph.out_nbrs(u) {
+            if parent.contains_key(&v) {
+                continue;
+            }
+            if labels[v] == EntityLabel::Okay {
+                continue;
+            }
+            if !labels[u].can_cause(labels[v]) {
+                continue;
+            }
+            parent.insert(v, u);
+            queue.push_back(v);
+        }
+    }
+    if !parent.contains_key(&goal) {
+        return None;
+    }
+
+    // Reconstruct the path.
+    let mut path = vec![goal];
+    let mut cur = goal;
+    while cur != start {
+        cur = parent[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+
+    let steps = path
+        .into_iter()
+        .map(|idx| {
+            let entity = graph.entity(idx);
+            let label = labels[idx];
+            let text = match db.entity(entity) {
+                Some(e) => format!("{}: {}", e.describe(), label),
+                None => format!("{entity}: {label}"),
+            };
+            ExplanationStep {
+                entity,
+                label,
+                text,
+            }
+        })
+        .collect();
+    Some(Explanation { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind};
+
+    /// The Figure 1 shape: heavy flow → frontend VM → heavy flow → backend
+    /// VM with high CPU.
+    fn crawler_env() -> (MonitoringDb, RelationshipGraph, EntityId, EntityId) {
+        let mut db = MonitoringDb::new(10);
+        let flow1 = db.add_entity(EntityKind::Flow, "crawler→frontend");
+        let frontend = db.add_entity(EntityKind::Vm, "frontend");
+        let flow2 = db.add_entity(EntityKind::Flow, "frontend→backend");
+        let backend = db.add_entity(EntityKind::Vm, "backend");
+        db.relate(flow1, frontend, AssociationKind::FlowDestination);
+        db.relate(flow2, frontend, AssociationKind::FlowSource);
+        db.relate(flow2, backend, AssociationKind::FlowDestination);
+        // Labels: flow1 heavy, frontend heavy (high net tx), flow2 heavy,
+        // backend degraded (high CPU).
+        db.record(flow1, MetricKind::SessionCount, 0, 500.0);
+        db.record(frontend, MetricKind::NetTx, 0, 5000.0);
+        db.record(flow2, MetricKind::Throughput, 0, 4000.0);
+        db.record(backend, MetricKind::CpuUtil, 0, 95.0);
+        let graph = build_from_seeds(&db, &[backend], BuildOptions::default());
+        (db, graph, flow1, backend)
+    }
+
+    #[test]
+    fn crawler_chain_is_traced() {
+        let (db, graph, flow1, backend) = crawler_env();
+        let expl = explain_chain(&db, &graph, flow1, backend, 1.0).expect("chain exists");
+        assert_eq!(expl.steps.len(), 4);
+        assert_eq!(expl.steps.first().unwrap().entity, flow1);
+        assert_eq!(expl.steps.last().unwrap().entity, backend);
+        assert_eq!(expl.steps[0].label, EntityLabel::HeavyHitter);
+        assert_eq!(expl.steps[3].label, EntityLabel::Degraded);
+        let text = expl.render();
+        assert!(text.contains("crawler→frontend"));
+        assert!(text.contains("degraded"));
+        assert!(text.lines().count() == 4);
+    }
+
+    #[test]
+    fn okay_entities_break_chains() {
+        let (mut db, graph, flow1, backend) = crawler_env();
+        // Cool the frontend below every threshold: chain must break.
+        let frontend = db.entity_by_name("frontend").unwrap().id;
+        db.record(frontend, MetricKind::NetTx, 1, 1.0);
+        assert!(explain_chain(&db, &graph, flow1, backend, 1.0).is_none());
+    }
+
+    #[test]
+    fn okay_root_cause_has_no_chain() {
+        let (mut db, graph, flow1, backend) = crawler_env();
+        db.record(flow1, MetricKind::SessionCount, 1, 1.0);
+        assert!(explain_chain(&db, &graph, flow1, backend, 1.0).is_none());
+    }
+
+    #[test]
+    fn label_causality_is_respected() {
+        // degraded → heavy is not a causal truth: a chain requiring that
+        // hop must not be produced.
+        let mut db = MonitoringDb::new(10);
+        let a = db.add_entity(EntityKind::Vm, "a"); // degraded
+        let b = db.add_entity(EntityKind::Flow, "b"); // heavy
+        db.relate(a, b, AssociationKind::Related);
+        db.record(a, MetricKind::CpuUtil, 0, 80.0);
+        db.record(b, MetricKind::Throughput, 0, 5000.0);
+        let graph = build_from_seeds(&db, &[a], BuildOptions::default());
+        assert!(explain_chain(&db, &graph, a, b, 1.0).is_none());
+        // But heavy → degraded works in the other direction.
+        let expl = explain_chain(&db, &graph, b, a, 1.0).unwrap();
+        assert_eq!(expl.entities(), vec![b, a]);
+    }
+
+    #[test]
+    fn self_explanation_is_single_step() {
+        let (db, graph, _, backend) = crawler_env();
+        let expl = explain_chain(&db, &graph, backend, backend, 1.0).unwrap();
+        assert_eq!(expl.steps.len(), 1);
+        assert_eq!(expl.steps[0].entity, backend);
+    }
+
+    #[test]
+    fn entities_not_in_graph_yield_none() {
+        let (db, graph, flow1, _) = crawler_env();
+        assert!(explain_chain(&db, &graph, flow1, EntityId(99), 1.0).is_none());
+        assert!(explain_chain(&db, &graph, EntityId(99), flow1, 1.0).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Entity-metric factors.
+//!
+//! The MRF's joint distribution is a product of per-entity factors
+//! `P_v(v | in_nbrs(v))` (§4.2). We realize each factor as one regression
+//! model per (entity, metric) pair: the model predicts that metric in a
+//! time slice from a selected subset of the incoming neighbors' metrics in
+//! the same slice, and carries the training-residual scale so it can be
+//! *sampled* from, not just evaluated.
+
+use murphy_learn::TrainedModel;
+use murphy_telemetry::MetricId;
+use rand::Rng;
+
+/// A single metric's factor within the MRF.
+pub struct Factor {
+    /// The metric this factor models.
+    pub target: MetricId,
+    /// Positions (into the MRF's dense metric index) of the selected
+    /// feature metrics — the top-B incoming-neighbor metrics.
+    pub feature_positions: Vec<usize>,
+    /// The metric ids of those features (for reporting).
+    pub feature_ids: Vec<MetricId>,
+    /// The fitted conditional model with residual noise scale.
+    pub model: TrainedModel,
+}
+
+impl Factor {
+    /// Gather this factor's feature vector from a dense metric state.
+    pub fn features_from(&self, state: &[f64]) -> Vec<f64> {
+        self.feature_positions.iter().map(|&i| state[i]).collect()
+    }
+
+    /// Point prediction of the target from the current state.
+    pub fn predict(&self, state: &[f64]) -> f64 {
+        let x = self.features_from(state);
+        self.target.kind.clamp(self.model.predict(&x))
+    }
+
+    /// Draw one sample of the target given the current state, clamped to
+    /// the metric's physical domain (percentages in [0, 100], rates ≥ 0).
+    pub fn sample<R: Rng>(&self, state: &[f64], rng: &mut R) -> f64 {
+        let x = self.features_from(state);
+        self.target.kind.clamp(self.model.sample(&x, rng))
+    }
+}
+
+impl std::fmt::Debug for Factor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Factor")
+            .field("target", &self.target)
+            .field("features", &self.feature_ids)
+            .field("residual_std", &self.model.residual_std)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_learn::ModelKind;
+    use murphy_telemetry::{EntityId, MetricKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_factor() -> Factor {
+        // target ≈ 0.5 * feature.
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 0.5 * r[0]).collect();
+        let model = TrainedModel::fit(ModelKind::Ridge, &xs, &ys, 0).unwrap();
+        Factor {
+            target: MetricId::new(EntityId(0), MetricKind::CpuUtil),
+            feature_positions: vec![2],
+            feature_ids: vec![MetricId::new(EntityId(1), MetricKind::CpuUtil)],
+            model,
+        }
+    }
+
+    #[test]
+    fn features_are_gathered_by_position() {
+        let f = linear_factor();
+        let state = vec![9.0, 9.0, 40.0, 9.0];
+        assert_eq!(f.features_from(&state), vec![40.0]);
+        let pred = f.predict(&state);
+        assert!((pred - 20.0).abs() < 1.0, "pred = {pred}");
+    }
+
+    #[test]
+    fn prediction_is_clamped_to_domain() {
+        let f = linear_factor();
+        // Feature value 1000 would predict ~500%, clamped to 100%.
+        let state = vec![0.0, 0.0, 1000.0, 0.0];
+        assert_eq!(f.predict(&state), 100.0);
+        // Negative predictions clamp to 0.
+        let state = vec![0.0, 0.0, -1000.0, 0.0];
+        assert_eq!(f.predict(&state), 0.0);
+    }
+
+    #[test]
+    fn samples_center_on_prediction() {
+        let f = linear_factor();
+        let state = vec![0.0, 0.0, 60.0, 0.0];
+        let expected = f.predict(&state);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 500;
+        let avg: f64 = (0..n).map(|_| f.sample(&state, &mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (avg - expected).abs() < 1.0 + 3.0 * f.model.residual_std,
+            "avg {avg} vs {expected}"
+        );
+    }
+}

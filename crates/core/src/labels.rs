@@ -1,0 +1,220 @@
+//! Threshold-based entity labels (§4.3).
+//!
+//! Once root causes are found, Murphy assigns each entity one of five
+//! labels from its current metrics and the conservative thresholds, then
+//! uses a small state machine of causal truths between labels (Figure 4)
+//! to trace human-readable explanation chains:
+//!
+//! * **heavy hitter** — high throughput / session count / load,
+//! * **high drop rate** — drops or retransmits above threshold,
+//! * **degraded performance** — high latency or saturated resources,
+//! * **non-functional** — erroring or apparently down,
+//! * **okay** — nothing above threshold.
+
+use murphy_telemetry::{EntityId, MetricId, MetricKind, MonitoringDb};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The label of an entity, per the Figure 4 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EntityLabel {
+    /// No metric above its conservative threshold.
+    Okay,
+    /// High load: throughput, session count, request rate, or tx/rx above
+    /// threshold.
+    HeavyHitter,
+    /// Drop rate or retransmission ratio above threshold.
+    HighDropRate,
+    /// High latency/RTT or saturated CPU/memory/disk/buffer.
+    Degraded,
+    /// Erroring (error rate above threshold) — "faulty/non-functional".
+    NonFunctional,
+}
+
+impl EntityLabel {
+    /// Human-readable label text.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityLabel::Okay => "okay",
+            EntityLabel::HeavyHitter => "heavy hitter",
+            EntityLabel::HighDropRate => "high drop rate",
+            EntityLabel::Degraded => "degraded performance",
+            EntityLabel::NonFunctional => "non-functional",
+        }
+    }
+
+    /// The Figure 4 causal truths: can an entity in state `self` cause a
+    /// neighbor to be in state `to`?
+    ///
+    /// Encoded edges:
+    /// * heavy hitter → heavy hitter (load propagates: crawler → frontend
+    ///   → backend),
+    /// * heavy hitter → high drop rate ("heavy hitter flow can cause high
+    ///   drop rate on a virtual NIC"),
+    /// * heavy hitter → degraded ("heavy hitter flow can cause high load
+    ///   on a VM"),
+    /// * heavy hitter → non-functional,
+    /// * high drop rate → degraded / non-functional,
+    /// * degraded → degraded / non-functional (a slow dependency slows or
+    ///   breaks its dependents).
+    pub fn can_cause(self, to: EntityLabel) -> bool {
+        use EntityLabel::*;
+        matches!(
+            (self, to),
+            (HeavyHitter, HeavyHitter)
+                | (HeavyHitter, HighDropRate)
+                | (HeavyHitter, Degraded)
+                | (HeavyHitter, NonFunctional)
+                | (HighDropRate, Degraded)
+                | (HighDropRate, NonFunctional)
+                | (Degraded, Degraded)
+                | (Degraded, NonFunctional)
+        )
+    }
+}
+
+impl fmt::Display for EntityLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Label one entity from its current metric values.
+///
+/// Precedence, most severe first: non-functional, degraded, high drop
+/// rate, heavy hitter, okay. `threshold_scale` scales the conservative
+/// thresholds (1.0 = the paper's).
+pub fn label_entity(db: &MonitoringDb, entity: EntityId, threshold_scale: f64) -> EntityLabel {
+    let mut heavy = false;
+    let mut drops = false;
+    let mut degraded = false;
+    let mut non_functional = false;
+    for kind in db.metrics_of(entity) {
+        let value = db.current_value(MetricId::new(entity, kind));
+        if value <= kind.threshold() * threshold_scale {
+            continue;
+        }
+        match kind {
+            MetricKind::ErrorRate => non_functional = true,
+            MetricKind::DropRate | MetricKind::RetransmitRatio => drops = true,
+            MetricKind::Latency
+            | MetricKind::Rtt
+            | MetricKind::CpuUtil
+            | MetricKind::MemUtil
+            | MetricKind::DiskUtil
+            | MetricKind::BufferUtil
+            | MetricKind::SpaceUtil => degraded = true,
+            k if k.is_load_like() => heavy = true,
+            _ => {}
+        }
+    }
+    if non_functional {
+        EntityLabel::NonFunctional
+    } else if degraded {
+        EntityLabel::Degraded
+    } else if drops {
+        EntityLabel::HighDropRate
+    } else if heavy {
+        EntityLabel::HeavyHitter
+    } else {
+        EntityLabel::Okay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_telemetry::EntityKind;
+
+    fn db_with(values: &[(MetricKind, f64)]) -> (MonitoringDb, EntityId) {
+        let mut db = MonitoringDb::new(10);
+        let e = db.add_entity(EntityKind::Vm, "e");
+        for &(kind, v) in values {
+            db.record(e, kind, 0, v);
+        }
+        (db, e)
+    }
+
+    #[test]
+    fn quiet_entity_is_okay() {
+        let (db, e) = db_with(&[(MetricKind::CpuUtil, 5.0), (MetricKind::NetTx, 10.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::Okay);
+    }
+
+    #[test]
+    fn load_metrics_make_heavy_hitter() {
+        let (db, e) = db_with(&[(MetricKind::Throughput, 2000.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::HeavyHitter);
+        let (db, e) = db_with(&[(MetricKind::SessionCount, 80.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::HeavyHitter);
+    }
+
+    #[test]
+    fn drops_make_high_drop_rate() {
+        let (db, e) = db_with(&[(MetricKind::DropRate, 0.5)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::HighDropRate);
+    }
+
+    #[test]
+    fn saturation_or_latency_make_degraded() {
+        let (db, e) = db_with(&[(MetricKind::CpuUtil, 60.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::Degraded);
+        let (db, e) = db_with(&[(MetricKind::Latency, 300.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::Degraded);
+    }
+
+    #[test]
+    fn errors_make_non_functional() {
+        let (db, e) = db_with(&[(MetricKind::ErrorRate, 10.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::NonFunctional);
+    }
+
+    #[test]
+    fn severity_precedence() {
+        // All at once: non-functional wins.
+        let (db, e) = db_with(&[
+            (MetricKind::Throughput, 2000.0),
+            (MetricKind::DropRate, 0.5),
+            (MetricKind::CpuUtil, 60.0),
+            (MetricKind::ErrorRate, 10.0),
+        ]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::NonFunctional);
+        // Degraded beats drops and heavy.
+        let (db, e) = db_with(&[
+            (MetricKind::Throughput, 2000.0),
+            (MetricKind::DropRate, 0.5),
+            (MetricKind::CpuUtil, 60.0),
+        ]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::Degraded);
+        // Drops beat heavy.
+        let (db, e) = db_with(&[(MetricKind::Throughput, 2000.0), (MetricKind::DropRate, 0.5)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::HighDropRate);
+    }
+
+    #[test]
+    fn threshold_scale_applies() {
+        let (db, e) = db_with(&[(MetricKind::CpuUtil, 30.0)]);
+        assert_eq!(label_entity(&db, e, 1.0), EntityLabel::Degraded);
+        assert_eq!(label_entity(&db, e, 2.0), EntityLabel::Okay);
+    }
+
+    #[test]
+    fn figure4_state_machine_edges() {
+        use EntityLabel::*;
+        // Present edges.
+        assert!(HeavyHitter.can_cause(HeavyHitter));
+        assert!(HeavyHitter.can_cause(HighDropRate));
+        assert!(HeavyHitter.can_cause(Degraded));
+        assert!(HeavyHitter.can_cause(NonFunctional));
+        assert!(HighDropRate.can_cause(Degraded));
+        assert!(Degraded.can_cause(NonFunctional));
+        assert!(Degraded.can_cause(Degraded));
+        // Absent edges: nothing flows out of Okay or NonFunctional;
+        // effects don't cause their causes.
+        assert!(!Okay.can_cause(Degraded));
+        assert!(!NonFunctional.can_cause(Degraded));
+        assert!(!Degraded.can_cause(HeavyHitter));
+        assert!(!HighDropRate.can_cause(HeavyHitter));
+        assert!(!Degraded.can_cause(HighDropRate));
+    }
+}

@@ -1,0 +1,48 @@
+//! Murphy's core: the MRF framework, counterfactual inference, and
+//! explanation generation (§4 of the paper).
+//!
+//! The pipeline, per problematic symptom `(M_o, E_o)`:
+//!
+//! 1. **Train** — every entity metric in the relationship graph gets a
+//!    factor `P_v(v | in_nbrs(v))`: a regression model (ridge by default)
+//!    from the incoming neighbors' metrics to the entity's metric, trained
+//!    *online* on the window ending at diagnosis time so incident-time
+//!    points are included ([`training`]).
+//! 2. **Infer** — for each candidate root cause `A` (pruned by the
+//!    conservative-threshold BFS), set `A`'s most anomalous metric to a
+//!    counterfactual value 2σ toward normal, resample the shortest-path
+//!    subgraph `T(A→D)` with `W` Gibbs passes ([`sampler`]), and collect
+//!    samples of the symptom metric; repeat from `A`'s factual value; a
+//!    Welch t-test decides whether the counterfactual significantly
+//!    relieves the symptom ([`counterfactual`], [`diagnose`]).
+//! 3. **Rank** — surviving candidates are ordered by how anomalous their
+//!    current metrics are ([`ranking`]).
+//! 4. **Explain** — entities get threshold labels (heavy hitter, high
+//!    drop rate, degraded, non-functional) and chains from root cause to
+//!    symptom are traced through the label-causality state machine of
+//!    Figure 4 ([`labels`], [`explain`]).
+//!
+//! [`murphy::Murphy`] ties the stages into the Figure 2 workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counterfactual;
+pub mod diagnose;
+pub mod explain;
+pub mod factor;
+pub mod labels;
+pub mod mrf;
+pub mod murphy;
+pub mod ranking;
+pub mod sampler;
+pub mod training;
+
+pub use config::MurphyConfig;
+pub use counterfactual::{evaluate_candidate, CandidateVerdict};
+pub use diagnose::{DiagnosisReport, RankedRootCause, Symptom};
+pub use explain::{Explanation, ExplanationStep};
+pub use labels::EntityLabel;
+pub use mrf::MrfModel;
+pub use murphy::Murphy;

@@ -1,0 +1,220 @@
+//! Root-cause ranking (§4.2, "Ranking the root causes").
+//!
+//! Confirmed root causes are ordered by how anomalous their current
+//! metrics are: each metric scores its z-distance from the historical
+//! mean, the entity takes the score of its most anomalous metric, and the
+//! most anomalous entity ranks first (the operator checks it first).
+
+use crate::counterfactual::CandidateVerdict;
+use crate::diagnose::RankedRootCause;
+use crate::mrf::MrfModel;
+use murphy_telemetry::{EntityId, EntityKind, MonitoringDb};
+
+/// Is this entity a *workload source* — a client or a flow? In the Figure
+/// 4 label state machine, heavy hitters are the only state with no
+/// incoming causal edge: load originates at clients and flows, it doesn't
+/// happen to them. Among equally-anomalous, equally-distant confirmed
+/// candidates, the workload source is the likelier root cause than the
+/// service/container it drives.
+fn is_workload_source(db: &MonitoringDb, entity: EntityId) -> bool {
+    matches!(
+        db.entity(entity).map(|e| e.kind),
+        Some(EntityKind::Client) | Some(EntityKind::Flow)
+    )
+}
+
+/// Rank confirmed root causes by descending anomaly score, saturated at
+/// `saturation`.
+///
+/// During an incident every entity on the causal chain can be hundreds of
+/// reference standard deviations out — comparing 150σ to 250σ carries no
+/// signal, only the noise floor of the reference window. Scores are
+/// therefore capped at `saturation`; among saturated candidates the tie
+/// breaks toward the one *farthest* from the symptom (the most upstream
+/// confirmed cause — intermediate symptoms sit between the root cause and
+/// the observation), then toward the smaller p-value, then by entity id
+/// for determinism.
+pub fn rank_root_causes(
+    db: &MonitoringDb,
+    mrf: &MrfModel,
+    confirmed: Vec<(EntityId, CandidateVerdict)>,
+    saturation: f64,
+) -> Vec<RankedRootCause> {
+    let mut ranked: Vec<RankedRootCause> = confirmed
+        .into_iter()
+        .map(|(entity, verdict)| {
+            let score = mrf.entity_anomaly(entity).min(saturation);
+            let metric = mrf
+                .most_anomalous_metric(entity)
+                .map(|p| mrf.index.id(p).kind)
+                .unwrap_or(murphy_telemetry::MetricKind::CpuUtil);
+            RankedRootCause {
+                entity,
+                metric,
+                score,
+                verdict,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.verdict.distance.cmp(&a.verdict.distance))
+            .then(
+                is_workload_source(db, b.entity).cmp(&is_workload_source(db, a.entity)),
+            )
+            .then(
+                a.verdict
+                    .p_value
+                    .partial_cmp(&b.verdict.p_value)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.entity.cmp(&b.entity))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrf::{MetricIndex, MrfModel};
+    use murphy_stats::Summary;
+    use murphy_telemetry::{MetricId, MetricKind};
+
+    /// Three VM entities (ids 0..2) so kind-based tie-breaks are neutral.
+    fn vm_db() -> MonitoringDb {
+        let mut db = MonitoringDb::new(10);
+        for i in 0..3 {
+            db.add_entity(EntityKind::Vm, format!("vm{i}"));
+        }
+        db
+    }
+
+    fn verdict(p: f64) -> CandidateVerdict {
+        verdict_at(p, 1)
+    }
+
+    fn verdict_at(p: f64, distance: usize) -> CandidateVerdict {
+        CandidateVerdict {
+            is_root_cause: true,
+            counterfactual_mean: 1.0,
+            factual_mean: 2.0,
+            p_value: p,
+            distance,
+        }
+    }
+
+    fn model_with_anomalies() -> MrfModel {
+        // Entity 0: very anomalous (cpu 90 vs mean 10±1).
+        // Entity 1: mildly anomalous (cpu 14 vs mean 10±1).
+        // Entity 2: not anomalous.
+        let ids = vec![
+            MetricId::new(EntityId(0), MetricKind::CpuUtil),
+            MetricId::new(EntityId(1), MetricKind::CpuUtil),
+            MetricId::new(EntityId(2), MetricKind::CpuUtil),
+        ];
+        let hist = Summary::of(&[9.0, 10.0, 11.0, 10.0]);
+        MrfModel {
+            index: MetricIndex::new(ids),
+            factors: vec![None, None, None],
+            current: vec![90.0, 14.0, 10.0],
+            history: vec![hist, hist, hist],
+            reference: vec![hist, hist, hist],
+        }
+    }
+
+    #[test]
+    fn most_anomalous_first() {
+        let mrf = model_with_anomalies();
+        let ranked = rank_root_causes(
+            &vm_db(),
+            &mrf,
+            vec![
+                (EntityId(1), verdict(0.01)),
+                (EntityId(0), verdict(0.01)),
+                (EntityId(2), verdict(0.01)),
+            ],
+            1e9,
+        );
+        let order: Vec<EntityId> = ranked.iter().map(|r| r.entity).collect();
+        assert_eq!(order, vec![EntityId(0), EntityId(1), EntityId(2)]);
+        assert!(ranked[0].score > ranked[1].score);
+        assert_eq!(ranked[0].metric, MetricKind::CpuUtil);
+    }
+
+    #[test]
+    fn p_value_breaks_score_ties() {
+        let mut mrf = model_with_anomalies();
+        mrf.current = vec![50.0, 50.0, 10.0]; // entities 0 and 1 tie on score
+        let ranked = rank_root_causes(
+            &vm_db(),
+            &mrf,
+            vec![(EntityId(0), verdict(0.04)), (EntityId(1), verdict(0.001))],
+            1e9,
+        );
+        assert_eq!(ranked[0].entity, EntityId(1));
+    }
+
+    #[test]
+    fn entity_id_breaks_full_ties() {
+        let mut mrf = model_with_anomalies();
+        mrf.current = vec![50.0, 50.0, 10.0];
+        let ranked = rank_root_causes(
+            &vm_db(),
+            &mrf,
+            vec![(EntityId(1), verdict(0.01)), (EntityId(0), verdict(0.01))],
+            1e9,
+        );
+        assert_eq!(ranked[0].entity, EntityId(0));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let mrf = model_with_anomalies();
+        assert!(rank_root_causes(&vm_db(), &mrf, vec![], 20.0).is_empty());
+    }
+
+    #[test]
+    fn saturation_prefers_upstream_candidates() {
+        // Both entities are wildly anomalous (far past saturation); the
+        // farther (more upstream) one must rank first.
+        let mut mrf = model_with_anomalies();
+        mrf.current = vec![500.0, 900.0, 10.0]; // both saturate at 20
+        let ranked = rank_root_causes(
+            &vm_db(),
+            &mrf,
+            vec![
+                (EntityId(0), verdict_at(0.001, 1)), // intermediate
+                (EntityId(1), verdict_at(0.01, 3)),  // upstream
+            ],
+            20.0,
+        );
+        assert_eq!(ranked[0].entity, EntityId(1));
+        assert_eq!(ranked[0].score, 20.0);
+        assert_eq!(ranked[1].score, 20.0);
+    }
+
+    #[test]
+    fn workload_sources_break_score_and_distance_ties() {
+        // Entity 0 is a VM, entity 1 a Client; equal scores and distances:
+        // the client (workload source) must rank first despite the VM's
+        // lower entity id.
+        let mut db = MonitoringDb::new(10);
+        db.add_entity(EntityKind::Vm, "vm");
+        db.add_entity(EntityKind::Client, "client");
+        db.add_entity(EntityKind::Vm, "other");
+        let mut mrf = model_with_anomalies();
+        mrf.current = vec![500.0, 900.0, 10.0]; // both saturate
+        let ranked = rank_root_causes(
+            &db,
+            &mrf,
+            vec![
+                (EntityId(0), verdict_at(0.001, 2)),
+                (EntityId(1), verdict_at(0.01, 2)),
+            ],
+            20.0,
+        );
+        assert_eq!(ranked[0].entity, EntityId(1));
+    }
+}

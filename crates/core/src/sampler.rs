@@ -1,0 +1,172 @@
+//! The adapted Gibbs sampler (§4.2, "Inference algorithm").
+//!
+//! Exact Gibbs sampling over the whole relationship graph is both too
+//! expensive (thousands of entities) and destructive (it would resample
+//! entities unrelated to the candidate). Murphy instead resamples only the
+//! shortest-path subgraph `T(A→D)`, in increasing distance from the
+//! candidate `A`, and repeats the pass `W` times — the repetition is what
+//! propagates effects around cycles inside `T` (§6.6.2 measures the gain).
+
+use crate::mrf::MrfModel;
+use murphy_graph::{RelationshipGraph, ShortestPathSubgraph};
+use murphy_telemetry::EntityId;
+use rand::Rng;
+
+/// One resampling run over a shortest-path subgraph.
+///
+/// `state` is mutated in place: for `W` rounds, every metric of every
+/// entity in `subgraph.order` (increasing distance from A, target last) is
+/// redrawn from its factor given the evolving state. Metrics without a
+/// trained factor keep their current value — they still *feed* other
+/// factors.
+pub fn resample_subgraph<R: Rng>(
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    subgraph: &ShortestPathSubgraph,
+    state: &mut [f64],
+    gibbs_rounds: usize,
+    rng: &mut R,
+) {
+    let entities: Vec<EntityId> = subgraph.entities(graph);
+    for _round in 0..gibbs_rounds.max(1) {
+        for &e in &entities {
+            for &pos in mrf.index.entity_positions(e) {
+                if let Some(factor) = &mrf.factors[pos] {
+                    state[pos] = factor.sample(state, rng);
+                }
+            }
+        }
+    }
+}
+
+/// Positions of every metric touched by a resampling run (used to
+/// save/restore state between samples without cloning the full vector).
+pub fn touched_positions(
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    subgraph: &ShortestPathSubgraph,
+) -> Vec<usize> {
+    subgraph
+        .entities(graph)
+        .iter()
+        .flat_map(|&e| mrf.index.entity_positions(e).iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MurphyConfig;
+    use crate::training::{train_mrf, TrainingWindow};
+    use murphy_graph::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricId, MetricKind, MonitoringDb};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A 3-entity chain a → b → c where each CPU tracks its predecessor.
+    fn chain_env() -> (
+        MonitoringDb,
+        RelationshipGraph,
+        [murphy_telemetry::EntityId; 3],
+    ) {
+        let mut db = MonitoringDb::new(10);
+        let a = db.add_entity(EntityKind::Vm, "a");
+        let b = db.add_entity(EntityKind::Vm, "b");
+        let c = db.add_entity(EntityKind::Vm, "c");
+        db.relate(a, b, AssociationKind::Related);
+        db.relate(b, c, AssociationKind::Related);
+        for t in 0..120u64 {
+            let base = 20.0 + 15.0 * ((t as f64) * 0.21).sin();
+            db.record(a, MetricKind::CpuUtil, t, base);
+            db.record(b, MetricKind::CpuUtil, t, 0.9 * base + 2.0);
+            db.record(c, MetricKind::CpuUtil, t, 0.8 * (0.9 * base + 2.0) + 1.0);
+        }
+        let graph = build_from_seeds(&db, &[a], BuildOptions::default());
+        (db, graph, [a, b, c])
+    }
+
+    #[test]
+    fn counterfactual_propagates_down_the_chain() {
+        let (db, graph, [a, _b, c]) = chain_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 100), db.latest_tick());
+        let sp = ShortestPathSubgraph::compute(&graph, a, c).unwrap();
+
+        let a_pos = mrf.index.position(MetricId::new(a, MetricKind::CpuUtil)).unwrap();
+        let c_pos = mrf.index.position(MetricId::new(c, MetricKind::CpuUtil)).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 300;
+        let avg_with = |a_value: f64, rng: &mut StdRng| -> f64 {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let mut state = mrf.current.clone();
+                state[a_pos] = a_value;
+                resample_subgraph(&mrf, &graph, &sp, &mut state, 4, rng);
+                sum += state[c_pos];
+            }
+            sum / n as f64
+        };
+        let low = avg_with(5.0, &mut rng);
+        let high = avg_with(35.0, &mut rng);
+        assert!(
+            high - low > 5.0,
+            "c's CPU should follow a's: low={low}, high={high}"
+        );
+    }
+
+    #[test]
+    fn untouched_entities_keep_their_values() {
+        let (mut db, _, [a, b, _c]) = chain_env();
+        // Add a pendant entity attached to a; it is off every a→c path.
+        let d = db.add_entity(EntityKind::Vm, "d");
+        db.relate(a, d, AssociationKind::Related);
+        for t in 0..120u64 {
+            db.record(d, MetricKind::CpuUtil, t, 55.0);
+        }
+        let graph = build_from_seeds(&db, &[a], BuildOptions::default());
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 100), db.latest_tick());
+        let sp = ShortestPathSubgraph::compute(&graph, a, b).unwrap();
+        let d_pos = mrf.index.position(MetricId::new(d, MetricKind::CpuUtil)).unwrap();
+
+        let mut state = mrf.current.clone();
+        let before = state[d_pos];
+        let mut rng = StdRng::seed_from_u64(2);
+        resample_subgraph(&mrf, &graph, &sp, &mut state, 4, &mut rng);
+        assert_eq!(state[d_pos], before, "off-path entity was resampled");
+    }
+
+    #[test]
+    fn touched_positions_cover_subgraph_metrics() {
+        let (db, graph, [a, b, c]) = chain_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 100), db.latest_tick());
+        let sp = ShortestPathSubgraph::compute(&graph, a, c).unwrap();
+        let touched = touched_positions(&mrf, &graph, &sp);
+        // b and c are in the subgraph (a itself is pinned/excluded).
+        let b_pos = mrf.index.position(MetricId::new(b, MetricKind::CpuUtil)).unwrap();
+        let c_pos = mrf.index.position(MetricId::new(c, MetricKind::CpuUtil)).unwrap();
+        assert!(touched.contains(&b_pos));
+        assert!(touched.contains(&c_pos));
+        let a_pos = mrf.index.position(MetricId::new(a, MetricKind::CpuUtil)).unwrap();
+        assert!(!touched.contains(&a_pos));
+    }
+
+    #[test]
+    fn zero_rounds_still_runs_one_pass() {
+        // gibbs_rounds.max(1): a misconfigured 0 must not silently skip
+        // resampling (the t-test would then compare identical constants).
+        let (db, graph, [a, _b, c]) = chain_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 100), db.latest_tick());
+        let sp = ShortestPathSubgraph::compute(&graph, a, c).unwrap();
+        let c_pos = mrf.index.position(MetricId::new(c, MetricKind::CpuUtil)).unwrap();
+        let mut state = mrf.current.clone();
+        let mut rng = StdRng::seed_from_u64(3);
+        // With noise in the factors the value almost surely changes.
+        let before = state[c_pos];
+        resample_subgraph(&mrf, &graph, &sp, &mut state, 0, &mut rng);
+        assert_ne!(state[c_pos].to_bits(), before.to_bits());
+    }
+}

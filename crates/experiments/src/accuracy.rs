@@ -1,0 +1,203 @@
+//! Accuracy metrics (§6 "Measuring accuracy").
+//!
+//! * **Top-K accuracy / recall**: the fraction of scenarios where the
+//!   true root cause appears in the first K candidates (paper default
+//!   K = 5).
+//! * **Precision**: `1/r` when the true root cause is the r-th candidate,
+//!   0 when absent — "the operator will start at the top of the list and
+//!   will have to check r suggestions".
+//! * **Relaxed variants** (§6.1): the same, but any entity of the relaxed
+//!   set (true root cause ∪ common services/containers) counts as a hit.
+
+use murphy_telemetry::EntityId;
+use serde::{Deserialize, Serialize};
+
+/// True when any ground-truth entity appears in the first `k` candidates.
+pub fn top_k_hit(ranked: &[EntityId], truth: &[EntityId], k: usize) -> bool {
+    ranked.iter().take(k).any(|e| truth.contains(e))
+}
+
+/// Precision: `1/r` with `r` the 1-based rank of the first ground-truth
+/// hit; 0.0 when no hit.
+pub fn precision(ranked: &[EntityId], truth: &[EntityId]) -> f64 {
+    match ranked.iter().position(|e| truth.contains(e)) {
+        Some(idx) => 1.0 / (idx + 1) as f64,
+        None => 0.0,
+    }
+}
+
+/// Relaxed precision: `1/r` with `r` the rank of the first entity in the
+/// relaxed set — "inversely proportional to the number of false positives
+/// seen by the operator before one of the relaxed root causes".
+pub fn relaxed_precision(ranked: &[EntityId], relaxed: &[EntityId]) -> f64 {
+    precision(ranked, relaxed)
+}
+
+/// Accumulates accuracy over scenarios for one scheme.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccuracyAccumulator {
+    /// Scenario count.
+    pub scenarios: usize,
+    /// Hits within each K of interest (indexed by K).
+    hits_at: Vec<usize>,
+    /// Sum of per-scenario precisions.
+    precision_sum: f64,
+    /// Relaxed hits at K = 5.
+    relaxed_hits: usize,
+    /// Sum of relaxed precisions.
+    relaxed_precision_sum: f64,
+}
+
+impl AccuracyAccumulator {
+    /// New accumulator tracking K = 1..=max_k.
+    pub fn new(max_k: usize) -> Self {
+        Self {
+            hits_at: vec![0; max_k + 1],
+            ..Default::default()
+        }
+    }
+
+    /// Record one scenario's ranking.
+    pub fn record(&mut self, ranked: &[EntityId], truth: &[EntityId], relaxed: &[EntityId]) {
+        self.scenarios += 1;
+        for k in 1..self.hits_at.len() {
+            if top_k_hit(ranked, truth, k) {
+                self.hits_at[k] += 1;
+            }
+        }
+        self.precision_sum += precision(ranked, truth);
+        let relaxed_set: Vec<EntityId> = if relaxed.is_empty() {
+            truth.to_vec()
+        } else {
+            relaxed.to_vec()
+        };
+        if top_k_hit(ranked, &relaxed_set, 5) {
+            self.relaxed_hits += 1;
+        }
+        self.relaxed_precision_sum += relaxed_precision(ranked, &relaxed_set);
+    }
+
+    /// Recall at K.
+    pub fn recall_at(&self, k: usize) -> f64 {
+        if self.scenarios == 0 {
+            return 0.0;
+        }
+        let k = k.min(self.hits_at.len() - 1);
+        self.hits_at[k] as f64 / self.scenarios as f64
+    }
+
+    /// Mean precision.
+    pub fn precision(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.precision_sum / self.scenarios as f64
+        }
+    }
+
+    /// Relaxed recall at K = 5.
+    pub fn relaxed_recall(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.relaxed_hits as f64 / self.scenarios as f64
+        }
+    }
+
+    /// Mean relaxed precision.
+    pub fn relaxed_precision(&self) -> f64 {
+        if self.scenarios == 0 {
+            0.0
+        } else {
+            self.relaxed_precision_sum / self.scenarios as f64
+        }
+    }
+
+    /// The top-K recall curve for K = 1..=max_k (the Fig 5c/6b/6c series).
+    pub fn recall_curve(&self) -> Vec<(usize, f64)> {
+        (1..self.hits_at.len()).map(|k| (k, self.recall_at(k))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    #[test]
+    fn top_k_hit_respects_k() {
+        let ranked = [e(3), e(1), e(2)];
+        assert!(!top_k_hit(&ranked, &[e(1)], 1));
+        assert!(top_k_hit(&ranked, &[e(1)], 2));
+        assert!(top_k_hit(&ranked, &[e(3)], 1));
+        assert!(!top_k_hit(&ranked, &[e(9)], 10));
+        assert!(!top_k_hit(&[], &[e(1)], 5));
+    }
+
+    #[test]
+    fn precision_is_reciprocal_rank() {
+        let ranked = [e(5), e(6), e(7)];
+        assert_eq!(precision(&ranked, &[e(5)]), 1.0);
+        assert_eq!(precision(&ranked, &[e(6)]), 0.5);
+        assert_eq!(precision(&ranked, &[e(7)]), 1.0 / 3.0);
+        assert_eq!(precision(&ranked, &[e(9)]), 0.0);
+    }
+
+    #[test]
+    fn accumulator_aggregates() {
+        let mut acc = AccuracyAccumulator::new(5);
+        // Scenario 1: truth at rank 1.
+        acc.record(&[e(1), e(2)], &[e(1)], &[]);
+        // Scenario 2: truth at rank 3.
+        acc.record(&[e(9), e(8), e(1)], &[e(1)], &[]);
+        // Scenario 3: miss.
+        acc.record(&[e(9)], &[e(1)], &[]);
+        assert_eq!(acc.scenarios, 3);
+        assert!((acc.recall_at(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc.recall_at(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.recall_at(5) - 2.0 / 3.0).abs() < 1e-12);
+        let expected_p = (1.0 + 1.0 / 3.0 + 0.0) / 3.0;
+        assert!((acc.precision() - expected_p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relaxed_uses_wider_set() {
+        let mut acc = AccuracyAccumulator::new(5);
+        // Miss on strict truth, hit on a relaxed entity at rank 2.
+        acc.record(&[e(9), e(4)], &[e(1)], &[e(1), e(4)]);
+        assert_eq!(acc.recall_at(5), 0.0);
+        assert_eq!(acc.relaxed_recall(), 1.0);
+        assert!((acc.relaxed_precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relaxed_falls_back_to_truth() {
+        let mut acc = AccuracyAccumulator::new(5);
+        acc.record(&[e(1)], &[e(1)], &[]);
+        assert_eq!(acc.relaxed_recall(), 1.0);
+    }
+
+    #[test]
+    fn recall_curve_is_monotone() {
+        let mut acc = AccuracyAccumulator::new(8);
+        acc.record(&[e(9), e(1)], &[e(1)], &[]);
+        acc.record(&[e(1)], &[e(1)], &[]);
+        acc.record(&(0..8).map(e).collect::<Vec<_>>(), &[e(7)], &[]);
+        let curve = acc.recall_curve();
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.len(), 8);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = AccuracyAccumulator::new(5);
+        assert_eq!(acc.recall_at(5), 0.0);
+        assert_eq!(acc.precision(), 0.0);
+        assert_eq!(acc.relaxed_recall(), 0.0);
+    }
+}

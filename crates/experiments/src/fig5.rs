@@ -1,0 +1,196 @@
+//! Figure 5: performance interference in microservices (§6.1).
+//!
+//! Client A floods service 1, overwhelming downstream services it shares
+//! with service 2; client B's latency on service 2 is the symptom, and the
+//! true root cause is client A's RPS load. The paper runs 32 variants of
+//! this on the hotel-reservation app and reports top-K recall (5c) and
+//! precision/recall plus relaxed variants (5d).
+//!
+//! Sage methodology: the interference environment is cyclic, which Sage
+//! cannot model. Per the paper, Sage instead "only models a single
+//! user-facing service and its downstream services" — we give it exactly
+//! that: a causal-DAG re-emulation of the same scenario (same seed) with
+//! the symptom mapped onto the victim's entry service. The true root
+//! cause (client A) is structurally outside that model, so Sage's strict
+//! recall is 0 by construction; it can still reach the overwhelmed common
+//! containers, giving it partial *relaxed* credit.
+
+use crate::accuracy::AccuracyAccumulator;
+use crate::schemes::SchemeKind;
+use murphy_baselines::{DiagnosisScheme, SchemeContext};
+use murphy_core::{MurphyConfig, Symptom};
+use murphy_graph::prune_candidates;
+use murphy_sim::scenario::{FaultPlan, Scenario, ScenarioBuilder};
+use murphy_telemetry::{EntityKind, MetricKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Figure 5 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Config {
+    /// Number of interference variants (paper: 32).
+    pub variants: usize,
+    /// Training-window ticks.
+    pub n_train: usize,
+    /// Trace length per variant.
+    pub ticks: u64,
+    /// Murphy engine configuration.
+    pub murphy: MurphyConfig,
+}
+
+impl Fig5Config {
+    /// Paper-shaped defaults.
+    pub fn paper() -> Self {
+        Self {
+            variants: 32,
+            n_train: 300,
+            ticks: 360,
+            murphy: MurphyConfig::paper(),
+        }
+    }
+
+    /// Reduced scale for tests/CI.
+    pub fn fast() -> Self {
+        Self {
+            variants: 4,
+            n_train: 150,
+            ticks: 240,
+            murphy: MurphyConfig::fast(),
+        }
+    }
+}
+
+/// Per-scheme results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Results {
+    /// `(scheme, accumulator)` in legend order.
+    pub per_scheme: Vec<(SchemeKind, AccuracyAccumulator)>,
+}
+
+impl Fig5Results {
+    /// Accumulator for one scheme.
+    pub fn of(&self, kind: SchemeKind) -> &AccuracyAccumulator {
+        &self
+            .per_scheme
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("scheme present")
+            .1
+    }
+}
+
+/// Build the interference scenario for one variant seed. Public so the
+/// examples can replay a single variant.
+pub fn interference_scenario(seed: u64, ticks: u64) -> Scenario {
+    // Vary the flood intensity across variants (the paper varies RPS).
+    let intensity = 0.8 + 0.05 * (seed % 16) as f64;
+    ScenarioBuilder::hotel_reservation(seed)
+        .with_fault(FaultPlan::interference(intensity))
+        .with_ticks(ticks)
+        .build()
+}
+
+/// The Sage view of the same variant: causal edges, symptom on the victim
+/// entry service.
+fn sage_view(seed: u64, ticks: u64) -> Scenario {
+    let intensity = 0.8 + 0.05 * (seed % 16) as f64;
+    let mut s = ScenarioBuilder::hotel_reservation(seed)
+        .with_fault(FaultPlan::interference(intensity))
+        .with_ticks(ticks)
+        .with_causal_edges(true)
+        .build();
+    // Remap the symptom from client B to its entry service (the model
+    // Sage is able to build).
+    let entry = s
+        .db
+        .neighbors(s.symptom.entity)
+        .into_iter()
+        .find(|&e| s.db.entity(e).map(|x| x.kind) == Some(EntityKind::Service));
+    if let Some(entry) = entry {
+        s.symptom = Symptom::high(entry, MetricKind::Latency);
+    }
+    s
+}
+
+/// Run the Figure 5 experiment.
+pub fn run(config: &Fig5Config) -> Fig5Results {
+    let mut accs: Vec<(SchemeKind, AccuracyAccumulator)> = SchemeKind::ALL
+        .iter()
+        .map(|&k| (k, AccuracyAccumulator::new(10)))
+        .collect();
+
+    for v in 0..config.variants {
+        let seed = 1000 + v as u64;
+        let scenario = interference_scenario(seed, config.ticks);
+        let sage_scenario = sage_view(seed, config.ticks);
+
+        for (kind, acc) in accs.iter_mut() {
+            let s = if *kind == SchemeKind::Sage {
+                &sage_scenario
+            } else {
+                &scenario
+            };
+            let candidates = prune_candidates(&s.db, &s.graph, s.symptom.entity, 1.0);
+            let ctx = SchemeContext {
+                db: &s.db,
+                graph: &s.graph,
+                symptom: s.symptom,
+                candidates: &candidates,
+                n_train: config.n_train,
+            };
+            let scheme: Box<dyn DiagnosisScheme> = kind.build(config.murphy);
+            let ranked = scheme.diagnose(&ctx);
+            // Ground truth / relaxed sets come from the *primary* scenario
+            // (entity ids are identical across the two emulations).
+            acc.record(&ranked, &scenario.ground_truth, &scenario.relaxed_truth);
+        }
+    }
+    Fig5Results { per_scheme: accs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murphy_beats_baselines_on_interference() {
+        let results = run(&Fig5Config {
+            variants: 3,
+            ..Fig5Config::fast()
+        });
+        let murphy = results.of(SchemeKind::Murphy);
+        let sage = results.of(SchemeKind::Sage);
+        // Headline shape of Fig 5c: Murphy finds the true root cause in
+        // the top 5 most of the time; Sage never does (out of model).
+        assert!(
+            murphy.recall_at(5) >= 0.66,
+            "Murphy recall@5 = {}",
+            murphy.recall_at(5)
+        );
+        assert_eq!(sage.recall_at(10), 0.0, "Sage cannot see client A");
+        assert!(murphy.recall_at(5) > results.of(SchemeKind::ExplainIt).recall_at(5) - 0.34);
+    }
+
+    #[test]
+    fn relaxed_metrics_are_at_least_strict() {
+        let results = run(&Fig5Config {
+            variants: 2,
+            ..Fig5Config::fast()
+        });
+        for (kind, acc) in &results.per_scheme {
+            assert!(
+                acc.relaxed_recall() >= acc.recall_at(5) - 1e-9,
+                "{kind:?}: relaxed must dominate strict"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_ids_match_between_views() {
+        // The Sage view re-emulates with the same seed: entity ids of the
+        // ground truth must coincide.
+        let a = interference_scenario(1001, 240);
+        let b = sage_view(1001, 240);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        assert_ne!(a.symptom.entity, b.symptom.entity); // remapped
+    }
+}

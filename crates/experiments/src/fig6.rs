@@ -1,0 +1,211 @@
+//! Figure 6: resource contention in microservices (§6.3).
+//!
+//! stress-ng-style CPU/memory/disk faults on randomly chosen containers
+//! of the two DeathStarBench apps, with up to 14 short prior incidents in
+//! the training window for realism. These scenarios are *acyclic* (known
+//! causal direction everywhere) — the environment Sage was designed for —
+//! so all four schemes run on the same directed input. Outputs:
+//!
+//! * Fig 6a — a sample latency trace (prior incidents + main incident),
+//! * Fig 6b — top-K recall on social-network,
+//! * Fig 6c — top-K recall on hotel-reservation.
+
+use crate::accuracy::AccuracyAccumulator;
+use crate::schemes::SchemeKind;
+use murphy_baselines::{DiagnosisScheme, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_graph::prune_candidates;
+use murphy_sim::faults::FaultKind;
+use murphy_sim::scenario::{FaultPlan, Scenario, ScenarioBuilder};
+use serde::{Deserialize, Serialize};
+
+/// Which app to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum App {
+    /// hotel-reservation (Fig 6c).
+    HotelReservation,
+    /// social-network (Fig 6b).
+    SocialNetwork,
+}
+
+impl App {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::HotelReservation => "hotel-reservation",
+            App::SocialNetwork => "social-network",
+        }
+    }
+}
+
+/// Configuration for the Figure 6 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Config {
+    /// Scenarios per app (paper: >200 across both apps).
+    pub scenarios: usize,
+    /// Maximum prior incidents per scenario (paper: up to 14).
+    pub max_prior_incidents: usize,
+    /// Training-window ticks.
+    pub n_train: usize,
+    /// Trace length per scenario.
+    pub ticks: u64,
+    /// Murphy engine configuration.
+    pub murphy: MurphyConfig,
+}
+
+impl Fig6Config {
+    /// Paper-shaped defaults (100 scenarios per app ≈ >200 total).
+    pub fn paper() -> Self {
+        Self {
+            scenarios: 100,
+            max_prior_incidents: 14,
+            n_train: 300,
+            ticks: 360,
+            murphy: MurphyConfig::paper(),
+        }
+    }
+
+    /// Reduced scale for tests/CI.
+    pub fn fast() -> Self {
+        Self {
+            scenarios: 4,
+            max_prior_incidents: 4,
+            n_train: 150,
+            ticks: 240,
+            murphy: MurphyConfig::fast(),
+        }
+    }
+}
+
+/// Per-scheme results for one app.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Results {
+    /// The app evaluated.
+    pub app: App,
+    /// `(scheme, accumulator)` in legend order.
+    pub per_scheme: Vec<(SchemeKind, AccuracyAccumulator)>,
+}
+
+impl Fig6Results {
+    /// Accumulator for one scheme.
+    pub fn of(&self, kind: SchemeKind) -> &AccuracyAccumulator {
+        &self
+            .per_scheme
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("scheme present")
+            .1
+    }
+}
+
+/// Build one contention scenario (public for the examples and Fig 7).
+pub fn contention_scenario(
+    app: App,
+    seed: u64,
+    ticks: u64,
+    prior_incidents: usize,
+) -> Scenario {
+    let kind = FaultKind::ALL[(seed % 3) as usize];
+    let intensity = 1.0 + 0.1 * ((seed / 3) % 5) as f64;
+    let builder = match app {
+        App::HotelReservation => ScenarioBuilder::hotel_reservation(seed),
+        App::SocialNetwork => ScenarioBuilder::social_network(seed),
+    };
+    builder
+        .with_fault(FaultPlan::contention(kind, intensity))
+        .with_prior_incidents(prior_incidents)
+        .with_ticks(ticks)
+        .with_causal_edges(true)
+        .build()
+}
+
+/// Run the Figure 6b/6c experiment for one app.
+pub fn run(app: App, config: &Fig6Config) -> Fig6Results {
+    let mut accs: Vec<(SchemeKind, AccuracyAccumulator)> = SchemeKind::ALL
+        .iter()
+        .map(|&k| (k, AccuracyAccumulator::new(10)))
+        .collect();
+
+    for v in 0..config.scenarios {
+        let seed = 2000 + v as u64;
+        let priors = (seed % (config.max_prior_incidents as u64 + 1)) as usize;
+        let scenario = contention_scenario(app, seed, config.ticks, priors);
+        let candidates =
+            prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+        let ctx = SchemeContext {
+            db: &scenario.db,
+            graph: &scenario.graph,
+            symptom: scenario.symptom,
+            candidates: &candidates,
+            n_train: config.n_train,
+        };
+        for (kind, acc) in accs.iter_mut() {
+            let scheme: Box<dyn DiagnosisScheme> = kind.build(config.murphy);
+            let ranked = scheme.diagnose(&ctx);
+            acc.record(&ranked, &scenario.ground_truth, &scenario.relaxed_truth);
+        }
+    }
+    Fig6Results {
+        app,
+        per_scheme: accs,
+    }
+}
+
+/// Figure 6a: a sample latency trace with prior incidents, as
+/// `(time_seconds, latency_ms)` pairs of the symptom entity.
+pub fn sample_trace(seed: u64, ticks: u64, prior_incidents: usize) -> Vec<(f64, f64)> {
+    let scenario = contention_scenario(App::SocialNetwork, seed, ticks, prior_incidents);
+    let series = scenario
+        .db
+        .series(scenario.symptom.metric_id())
+        .expect("symptom series exists");
+    let interval = scenario.db.interval_secs as f64;
+    series
+        .values()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .map(|(i, &v)| (i as f64 * interval, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murphy_and_sage_both_work_on_acyclic_input() {
+        let results = run(App::HotelReservation, &Fig6Config {
+            scenarios: 3,
+            ..Fig6Config::fast()
+        });
+        let murphy = results.of(SchemeKind::Murphy);
+        let sage = results.of(SchemeKind::Sage);
+        // Fig 6 shape: both handle the DAG environment; Murphy ≥ Sage.
+        assert!(murphy.recall_at(5) >= 0.66, "Murphy = {}", murphy.recall_at(5));
+        assert!(sage.recall_at(5) > 0.0, "Sage must work here");
+        assert!(murphy.recall_at(5) >= sage.recall_at(5) - 1e-9);
+    }
+
+    #[test]
+    fn social_network_scenarios_diagnose() {
+        let results = run(App::SocialNetwork, &Fig6Config {
+            scenarios: 2,
+            ..Fig6Config::fast()
+        });
+        assert!(results.of(SchemeKind::Murphy).recall_at(5) > 0.0);
+    }
+
+    #[test]
+    fn sample_trace_shows_the_incident() {
+        let trace = sample_trace(3, 240, 4);
+        assert_eq!(trace.len(), 240);
+        // Latency during the incident tail is clearly above the early
+        // baseline.
+        let early: f64 = trace[10..40].iter().map(|p| p.1).sum::<f64>() / 30.0;
+        let late: f64 = trace[230..].iter().map(|p| p.1).sum::<f64>() / 10.0;
+        assert!(late > early * 1.3, "early {early}, late {late}");
+        // Time axis uses the 10 s interval.
+        assert_eq!(trace[1].0, 10.0);
+    }
+}

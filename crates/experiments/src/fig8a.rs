@@ -1,0 +1,232 @@
+//! Figure 8a: metric-prediction model selection (§6.6.1).
+//!
+//! Using the (synthetic stand-in for the) large metrics dataset — ~17K
+//! entities across 300 production applications — fit each of the four
+//! candidate factor families to every entity's primary metric from its
+//! neighbors' metrics, predict a held-out suffix, and report the CDF of
+//! MASE across entities. The paper finds ridge regression best and the
+//! small neural networks worst (too few training points).
+
+use murphy_core::MurphyConfig;
+use murphy_graph::{build_from_seeds, BuildOptions};
+use murphy_learn::{select_top_features, ModelKind, TrainedModel};
+use murphy_sim::enterprise::{generate, EnterpriseConfig};
+use murphy_stats::{mase, Ecdf};
+use murphy_telemetry::{MetricId, MonitoringDb};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Figure 8a study.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8aConfig {
+    /// The enterprise to generate.
+    pub enterprise: EnterpriseConfig,
+    /// Fraction of the trace used for training (rest is evaluated).
+    pub train_fraction: f64,
+    /// Feature budget per model.
+    pub feature_budget: usize,
+    /// Cap on evaluated entities (0 = all). Keeps test runtime sane.
+    pub max_entities: usize,
+}
+
+impl Fig8aConfig {
+    /// Paper-shaped defaults (~17K entities — slow; the repro binary
+    /// exposes a scale knob).
+    pub fn paper() -> Self {
+        Self {
+            enterprise: EnterpriseConfig::paper_scale(8),
+            train_fraction: 0.8,
+            feature_budget: MurphyConfig::paper().feature_budget,
+            max_entities: 0,
+        }
+    }
+
+    /// Reduced scale for tests/CI.
+    pub fn fast() -> Self {
+        Self {
+            enterprise: EnterpriseConfig::small(8),
+            train_fraction: 0.8,
+            feature_budget: 10,
+            max_entities: 60,
+        }
+    }
+}
+
+/// Results: per-model MASE samples and their CDFs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8aResults {
+    /// `(model, MASE per evaluated entity)`.
+    pub per_model: Vec<(ModelKind, Vec<f64>)>,
+    /// Number of evaluated entities.
+    pub entities: usize,
+}
+
+impl Fig8aResults {
+    /// Empirical CDF for one model.
+    pub fn cdf(&self, model: ModelKind) -> Ecdf {
+        Ecdf::new(
+            &self
+                .per_model
+                .iter()
+                .find(|(m, _)| *m == model)
+                .expect("model present")
+                .1,
+        )
+    }
+
+    /// Median MASE per model (lower is better).
+    pub fn medians(&self) -> Vec<(ModelKind, f64)> {
+        self.per_model
+            .iter()
+            .map(|(m, errs)| (*m, Ecdf::new(errs).median().unwrap_or(f64::NAN)))
+            .collect()
+    }
+}
+
+/// One entity's prediction task: target series + neighbor feature rows.
+struct PredictionTask {
+    train_rows: Vec<Vec<f64>>,
+    train_y: Vec<f64>,
+    test_rows: Vec<Vec<f64>>,
+    test_y: Vec<f64>,
+}
+
+fn task_for_entity(
+    db: &MonitoringDb,
+    entity: murphy_telemetry::EntityId,
+    train_fraction: f64,
+    feature_budget: usize,
+) -> Option<PredictionTask> {
+    let metrics = db.metrics_of(entity);
+    let target_kind = *metrics.first()?;
+    let target_id = MetricId::new(entity, target_kind);
+    let series = db.series(target_id)?;
+    let total = series.len();
+    if total < 40 {
+        return None;
+    }
+    let split = ((total as f64) * train_fraction) as u64;
+    let y_all = series.window(0, total as u64, target_kind.default_value());
+
+    // Neighbor metrics as candidate features.
+    let mut feature_ids: Vec<MetricId> = Vec::new();
+    for n in db.neighbors(entity) {
+        for kind in db.metrics_of(n) {
+            feature_ids.push(MetricId::new(n, kind));
+        }
+    }
+    if feature_ids.is_empty() {
+        return None;
+    }
+    let columns: Vec<Vec<f64>> = feature_ids
+        .iter()
+        .map(|&m| {
+            db.series(m)
+                .map(|s| s.window(0, total as u64, m.kind.default_value()))
+                .unwrap_or_else(|| vec![m.kind.default_value(); total])
+        })
+        .collect();
+    let train_y: Vec<f64> = y_all[..split as usize].to_vec();
+    let train_cols: Vec<Vec<f64>> = columns.iter().map(|c| c[..split as usize].to_vec()).collect();
+    let chosen = select_top_features(&train_cols, &train_y, feature_budget);
+    if chosen.is_empty() {
+        return None;
+    }
+    let row = |t: usize| -> Vec<f64> { chosen.iter().map(|&c| columns[c][t]).collect() };
+    Some(PredictionTask {
+        train_rows: (0..split as usize).map(row).collect(),
+        train_y,
+        test_rows: (split as usize..total).map(row).collect(),
+        test_y: y_all[split as usize..].to_vec(),
+    })
+}
+
+/// Run the model-selection study.
+pub fn run(config: &Fig8aConfig) -> Fig8aResults {
+    let enterprise = generate(&config.enterprise);
+    let db = &enterprise.db;
+    // Evaluate every entity that has metrics and neighbors; graph just to
+    // mirror the paper's "entities of the monitored estate".
+    let _ = build_from_seeds(db, &[], BuildOptions::default());
+    let mut entities: Vec<murphy_telemetry::EntityId> =
+        db.entities().map(|e| e.id).collect();
+    if config.max_entities > 0 {
+        entities.truncate(config.max_entities);
+    }
+
+    let mut per_model: Vec<(ModelKind, Vec<f64>)> =
+        ModelKind::ALL.iter().map(|&m| (m, Vec::new())).collect();
+    let mut evaluated = 0usize;
+    for &entity in &entities {
+        let Some(task) = task_for_entity(db, entity, config.train_fraction, config.feature_budget)
+        else {
+            continue;
+        };
+        evaluated += 1;
+        for (model_kind, errors) in per_model.iter_mut() {
+            let err = match TrainedModel::fit(*model_kind, &task.train_rows, &task.train_y, entity.0 as u64) {
+                Ok(model) => {
+                    let preds: Vec<f64> =
+                        task.test_rows.iter().map(|r| model.predict(r)).collect();
+                    mase(&preds, &task.test_y, &task.train_y)
+                }
+                Err(_) => f64::INFINITY,
+            };
+            if err.is_finite() {
+                errors.push(err);
+            }
+        }
+    }
+
+    Fig8aResults {
+        per_model,
+        entities: evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_wins_the_model_selection() {
+        let results = run(&Fig8aConfig::fast());
+        assert!(results.entities >= 20, "evaluated {}", results.entities);
+        let medians = results.medians();
+        let median_of = |m: ModelKind| {
+            medians
+                .iter()
+                .find(|(k, _)| *k == m)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let ridge = median_of(ModelKind::Ridge);
+        // Fig 8a shape: ridge is the best (lowest median error); the
+        // small MLP struggles on few training points.
+        assert!(ridge.is_finite());
+        assert!(
+            ridge <= median_of(ModelKind::Mlp) * 1.3,
+            "ridge {ridge} vs mlp {}",
+            median_of(ModelKind::Mlp)
+        );
+        assert!(
+            ridge <= median_of(ModelKind::Gmm) * 1.3,
+            "ridge {ridge} vs gmm {}",
+            median_of(ModelKind::Gmm)
+        );
+    }
+
+    #[test]
+    fn cdfs_are_well_formed() {
+        let results = run(&Fig8aConfig {
+            max_entities: 30,
+            ..Fig8aConfig::fast()
+        });
+        for kind in ModelKind::ALL {
+            let cdf = results.cdf(kind);
+            assert!(!cdf.is_empty(), "{kind}: empty CDF");
+            // CDF reaches 1.0 at its max.
+            let (_, max) = cdf.range().unwrap();
+            assert_eq!(cdf.eval(max), 1.0);
+        }
+    }
+}

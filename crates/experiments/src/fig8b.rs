@@ -1,0 +1,270 @@
+//! Figure 8b: verifying cyclic effects via Gibbs rounds (§6.6.2, A.2).
+//!
+//! The appendix experiment: pick applications with a backend ("SQL") VM
+//! `Q`, find the flows `F` most correlated with `Q`, take two time points
+//! `t1` and `t2` where `Q`'s metrics differ substantially, set the flows'
+//! metrics to their `t2` values while everything else stays at `t1`, and
+//! ask the resampling algorithm to predict `Q`'s metric. The prediction
+//! is "correct" under the (Δ, ε) closeness criterion. Running more Gibbs
+//! rounds propagates effects around cycles and raises the number of
+//! correctly predicted scenarios — the paper's evidence that cyclic
+//! effects are real in production.
+
+use murphy_core::sampler::resample_subgraph;
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::MurphyConfig;
+use murphy_graph::{build_from_seeds, BuildOptions, ShortestPathSubgraph};
+use murphy_sim::enterprise::{generate, EnterpriseConfig};
+use murphy_telemetry::{EntityId, MetricId, MetricKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Figure 8b study.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8bConfig {
+    /// The enterprise to generate (paper: 24 apps with a SQL backend).
+    pub enterprise: EnterpriseConfig,
+    /// Time-point pairs (t1, t2) evaluated per application.
+    pub trials_per_app: usize,
+    /// Flows to perturb per trial (paper: top 5 by correlation).
+    pub flows_per_trial: usize,
+    /// Gibbs round counts to compare (paper: 1, 2, 4, 8).
+    pub rounds: [usize; 4],
+    /// Multiplicative closeness bound Δ.
+    pub delta: f64,
+    /// Additive closeness bound ε (fraction of the metric's max).
+    pub epsilon: f64,
+    /// Murphy engine configuration (model family, feature budget).
+    pub murphy: MurphyConfig,
+}
+
+impl Fig8bConfig {
+    /// Paper-shaped defaults.
+    pub fn paper() -> Self {
+        Self {
+            enterprise: EnterpriseConfig {
+                num_apps: 24,
+                ..EnterpriseConfig::small(11)
+            },
+            trials_per_app: 32,
+            flows_per_trial: 5,
+            rounds: [1, 2, 4, 8],
+            delta: 2.0,
+            epsilon: 0.1,
+            murphy: MurphyConfig::paper(),
+        }
+    }
+
+    /// Reduced scale for tests/CI.
+    pub fn fast() -> Self {
+        Self {
+            enterprise: EnterpriseConfig {
+                num_apps: 3,
+                ..EnterpriseConfig::small(11)
+            },
+            trials_per_app: 6,
+            flows_per_trial: 3,
+            rounds: [1, 2, 4, 8],
+            delta: 2.0,
+            epsilon: 0.1,
+            murphy: MurphyConfig::fast(),
+        }
+    }
+}
+
+/// Results: correctly predicted scenario counts per Gibbs round count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8bResults {
+    /// `(gibbs_rounds, correct, total)` per configured round count.
+    pub per_rounds: Vec<(usize, usize, usize)>,
+}
+
+impl Fig8bResults {
+    /// Correct count for a round setting.
+    pub fn correct(&self, rounds: usize) -> usize {
+        self.per_rounds
+            .iter()
+            .find(|(r, _, _)| *r == rounds)
+            .map(|(_, c, _)| *c)
+            .unwrap_or(0)
+    }
+}
+
+/// The (Δ, ε) closeness criterion of appendix A.2 on the predicted vs
+/// actual *change* of the metric.
+pub fn close_enough(predicted: f64, actual: f64, max_seen: f64, delta: f64, epsilon: f64) -> bool {
+    if (predicted - actual).abs() < epsilon * max_seen.abs().max(1e-9) {
+        return true;
+    }
+    if actual == 0.0 {
+        return predicted == 0.0;
+    }
+    let ratio = predicted / actual;
+    ratio > 1.0 / delta && ratio < delta
+}
+
+/// Run the cyclic-effects study.
+pub fn run(config: &Fig8bConfig) -> Fig8bResults {
+    let enterprise = generate(&config.enterprise);
+    let db = &enterprise.db;
+    let ticks = config.enterprise.ticks;
+    let mut per_rounds: Vec<(usize, usize, usize)> =
+        config.rounds.iter().map(|&r| (r, 0usize, 0usize)).collect();
+
+    for app in &enterprise.apps {
+        // Q: the app's backend (db-tier) VM.
+        let Some(&q) = app.db.first() else { continue };
+        let q_metric = MetricId::new(q, MetricKind::CpuUtil);
+        let Some(q_series) = db.series(q_metric) else { continue };
+        let q_vals = q_series.window(0, ticks, 0.0);
+        let q_max = q_vals.iter().cloned().fold(0.0f64, f64::max);
+
+        // F: top flows by |correlation| with Q.
+        let mut flows: Vec<(EntityId, f64)> = app
+            .flows
+            .iter()
+            .filter_map(|&f| {
+                let s = db.series(MetricId::new(f, MetricKind::Throughput))?;
+                let w = s.window(0, ticks, 0.0);
+                Some((f, murphy_stats::pearson(&w, &q_vals).abs()))
+            })
+            .collect();
+        flows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let flows: Vec<EntityId> = flows
+            .into_iter()
+            .take(config.flows_per_trial)
+            .map(|(f, _)| f)
+            .collect();
+        if flows.is_empty() {
+            continue;
+        }
+
+        // Graph + trained MRF for the app.
+        let seeds = db.application_members(&app.name);
+        let graph = build_from_seeds(db, &seeds, BuildOptions::four_hops());
+        if !graph.contains(q) {
+            continue;
+        }
+        let window = TrainingWindow { from: 0, to: ticks };
+        let mrf = train_mrf(db, &graph, &config.murphy, window, ticks - 1);
+        let Some(q_pos) = mrf.index.position(q_metric) else { continue };
+
+        // Trials: pairs (t1, t2) with maximally different Q values.
+        let mut rng = StdRng::seed_from_u64(config.murphy.seed ^ q.0 as u64);
+        for trial in 0..config.trials_per_app {
+            use rand::Rng;
+            let t1 = rng.gen_range(0..ticks);
+            // Find a t2 with a large |Q(t2) - Q(t1)| among a few probes.
+            let t2 = (0..8)
+                .map(|_| rng.gen_range(0..ticks))
+                .max_by(|&a, &b| {
+                    let da = (q_vals[a as usize] - q_vals[t1 as usize]).abs();
+                    let db_ = (q_vals[b as usize] - q_vals[t1 as usize]).abs();
+                    da.partial_cmp(&db_).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(t1);
+            if t1 == t2 {
+                continue;
+            }
+
+            // State: everything at t1, flows at t2.
+            let mut state: Vec<f64> = mrf
+                .index
+                .ids()
+                .iter()
+                .map(|&m| db.value_at(m, t1))
+                .collect();
+            for &f in &flows {
+                for kind in db.metrics_of(f) {
+                    if let Some(pos) = mrf.index.position(MetricId::new(f, kind)) {
+                        state[pos] = db.value_at(MetricId::new(f, kind), t2);
+                    }
+                }
+            }
+
+            // Resample the union of shortest-path subgraphs flow → Q,
+            // with the engine's slack/closure so multi-hop influence
+            // (flow → VM → host → VM → Q) actually propagates.
+            let flow_nodes: Vec<usize> =
+                flows.iter().filter_map(|&f| graph.node(f)).collect();
+            let subgraphs: Vec<ShortestPathSubgraph> = flows
+                .iter()
+                .filter_map(|&f| {
+                    let mut sp = ShortestPathSubgraph::compute_with_slack(
+                        &graph,
+                        f,
+                        q,
+                        config.murphy.subgraph_slack,
+                    )?;
+                    // Every perturbed flow is pinned, exactly like the
+                    // candidate A in diagnosis: resampling one would drag
+                    // its t2 value back toward t1.
+                    sp.order.retain(|idx| !flow_nodes.contains(idx));
+                    Some(sp)
+                })
+                .collect();
+            if subgraphs.is_empty() {
+                continue;
+            }
+
+            let actual_change = q_vals[t2 as usize] - q_vals[t1 as usize];
+            for (rounds, correct, total) in per_rounds.iter_mut() {
+                let mut s = state.clone();
+                let mut trial_rng =
+                    StdRng::seed_from_u64((trial as u64) << 32 | *rounds as u64);
+                for sp in &subgraphs {
+                    resample_subgraph(&mrf, &graph, sp, &mut s, *rounds, &mut trial_rng);
+                }
+                let predicted_change = s[q_pos] - q_vals[t1 as usize];
+                *total += 1;
+                if close_enough(
+                    predicted_change,
+                    actual_change,
+                    q_max,
+                    config.delta,
+                    config.epsilon,
+                ) {
+                    *correct += 1;
+                }
+            }
+        }
+    }
+    Fig8bResults { per_rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closeness_criterion() {
+        // Additive tolerance.
+        assert!(close_enough(10.0, 10.5, 100.0, 2.0, 0.1));
+        // Multiplicative tolerance.
+        assert!(close_enough(30.0, 50.0, 100.0, 2.0, 0.01));
+        assert!(!close_enough(10.0, 50.0, 100.0, 2.0, 0.01));
+        // Sign flips with large magnitude fail.
+        assert!(!close_enough(-40.0, 40.0, 100.0, 2.0, 0.01));
+        // Zero actual: small predictions pass via epsilon.
+        assert!(close_enough(0.5, 0.0, 100.0, 2.0, 0.1));
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt() {
+        let results = run(&Fig8bConfig::fast());
+        assert_eq!(results.per_rounds.len(), 4);
+        let totals: Vec<usize> = results.per_rounds.iter().map(|&(_, _, t)| t).collect();
+        assert!(totals[0] > 0, "no trials ran");
+        // Every rounds setting evaluates the same trials.
+        assert!(totals.windows(2).all(|w| w[0] == w[1]));
+        // Fig 8b shape: accuracy at W=4 is at least accuracy at W=1 minus
+        // sampling noise.
+        let c1 = results.correct(1) as f64;
+        let c4 = results.correct(4) as f64;
+        assert!(
+            c4 >= c1 - (totals[0] as f64) * 0.25,
+            "W=4 ({c4}) collapsed vs W=1 ({c1})"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment runners reproducing the Murphy paper's evaluation.
+//!
+//! One module per table/figure of §6, each with a scale-configurable
+//! runner (tests and CI use reduced scenario counts and sample sizes; the
+//! `repro` binary in `murphy-bench` runs paper-shaped defaults):
+//!
+//! * [`accuracy`] — top-K recall, precision, and the §6.1 relaxed
+//!   variants; shared accumulators.
+//! * [`schemes`] — uniform construction of the four diagnosis schemes.
+//! * [`fig5`] — performance interference in microservices (Fig 5c/5d).
+//! * [`table1`] — false positives on the 13 enterprise incidents.
+//! * [`fig6`] — resource contention in microservices (Fig 6a/6b/6c).
+//! * [`table2`] — robustness to degraded telemetry.
+//! * [`fig7`] — microbenchmarks: no prior incidents, offline vs fresh
+//!   training, training-length sweep.
+//! * [`fig8a`] — metric-prediction model selection (MASE CDFs).
+//! * [`fig8b`] — Gibbs-rounds ablation verifying cyclic effects.
+//! * [`sensitivity`] — §6.8 sweeps (W, subgraph slack, model family).
+//! * [`perf`] — §6.7 runtime-vs-scale measurements.
+//! * [`report`] — plain-text rendering of tables and series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8a;
+pub mod fig8b;
+pub mod perf;
+pub mod report;
+pub mod sensitivity;
+pub mod schemes;
+pub mod table1;
+pub mod table2;
+
+pub use accuracy::{precision, relaxed_precision, top_k_hit, AccuracyAccumulator};
+pub use schemes::{all_schemes, SchemeKind};

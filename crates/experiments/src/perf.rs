@@ -1,0 +1,108 @@
+//! Runtime and scale measurements (§6.7).
+//!
+//! The paper reports Murphy's inference complexity as
+//! `O((N+M)·T + (N+M)·W)` for N entities, M edges, T training slices and
+//! W Gibbs passes, with ~2 minutes per symptom at incident scale. This
+//! module measures wall-clock time of the two components — online
+//! training and the per-symptom candidate loop — across graph sizes, for
+//! the `repro perf` report (Criterion benches time the same units with
+//! statistical rigor; this gives the one-table overview).
+
+use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::MurphyConfig;
+use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
+use murphy_sim::enterprise::{generate, EnterpriseConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One scale point's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Entities in the relationship graph (N).
+    pub entities: usize,
+    /// Directed edges (M).
+    pub edges: usize,
+    /// Training slices (T).
+    pub train_slices: usize,
+    /// Online-training wall time, milliseconds.
+    pub train_ms: f64,
+    /// Candidates evaluated in the diagnosis loop.
+    pub candidates: usize,
+    /// Full per-symptom diagnosis wall time (training + loop), ms.
+    pub diagnose_ms: f64,
+}
+
+/// Measure training and diagnosis across enterprise sizes.
+///
+/// `app_counts` controls the generated-estate sizes; `murphy` sets the
+/// engine parameters (use a reduced `num_samples` unless you want the
+/// paper's ~minutes-per-symptom regime).
+pub fn run(app_counts: &[usize], murphy: MurphyConfig) -> Vec<PerfPoint> {
+    app_counts
+        .iter()
+        .map(|&apps| {
+            let config = EnterpriseConfig {
+                num_apps: apps,
+                ..EnterpriseConfig::small(17)
+            };
+            let enterprise = generate(&config);
+            let db = &enterprise.db;
+            let seeds: Vec<_> = enterprise
+                .apps
+                .iter()
+                .flat_map(|a| db.application_members(&a.name))
+                .collect();
+            let graph = build_from_seeds(db, &seeds, BuildOptions::four_hops());
+            let window = TrainingWindow::online(db, murphy.n_train);
+
+            let t0 = Instant::now();
+            let mrf = train_mrf(db, &graph, &murphy, window, db.latest_tick());
+            let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+            drop(mrf);
+
+            // Diagnose a representative symptom: the first app's backend.
+            let symptom = murphy_core::Symptom::high(
+                enterprise.apps[0].db[0],
+                murphy_telemetry::MetricKind::CpuUtil,
+            );
+            let candidates = prune_candidates(db, &graph, symptom.entity, 1.0);
+            let t1 = Instant::now();
+            let scheme = MurphyScheme::new(murphy);
+            let _ = scheme.diagnose(&SchemeContext {
+                db,
+                graph: &graph,
+                symptom,
+                candidates: &candidates,
+                n_train: murphy.n_train,
+            });
+            let diagnose_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            PerfPoint {
+                entities: graph.node_count(),
+                edges: graph.edge_count(),
+                train_slices: window.len(),
+                train_ms,
+                candidates: candidates.len(),
+                diagnose_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_points_are_ordered_and_positive() {
+        let points = run(&[1, 3], MurphyConfig::fast().with_num_samples(50));
+        assert_eq!(points.len(), 2);
+        assert!(points[1].entities > points[0].entities);
+        for p in &points {
+            assert!(p.train_ms > 0.0);
+            assert!(p.diagnose_ms > 0.0);
+            assert!(p.edges > p.entities, "relationship graphs are dense-ish");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Plain-text rendering of experiment outputs in the paper's shapes.
+//!
+//! The `repro` binary prints these; tests assert on structure so the
+//! formats stay stable.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render a table: header row + data rows, columns padded to width.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "{}", render_row(&header_cells, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        let _ = writeln!(out, "{}", render_row(row, &widths));
+    }
+    out
+}
+
+/// Render an `(x, y)` series (one line per point) — the figure data dumps.
+pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(out, "{x_label}\t{y_label}");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:.4}\t{y:.4}");
+    }
+    out
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Serialize any result structure to pretty JSON (for archiving runs).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("<serialize error: {e}>"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_rows() {
+        let out = table(
+            "Test",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        assert!(out.contains("== Test =="));
+        assert!(out.contains("longer-name"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
+    }
+
+    #[test]
+    fn series_renders_points() {
+        let out = series("S", "x", "y", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(out.contains("1.0000\t2.0000"));
+        assert!(out.lines().count() == 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.856), "86%");
+        assert_eq!(f2(1.234), "1.23");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        #[derive(serde::Serialize)]
+        struct S {
+            a: u32,
+        }
+        let s = to_json(&S { a: 5 });
+        assert!(s.contains("\"a\": 5"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Uniform construction of the four diagnosis schemes.
+
+use murphy_baselines::{DiagnosisScheme, ExplainIt, MurphyScheme, NetMedic, Sage};
+use murphy_core::MurphyConfig;
+use serde::{Deserialize, Serialize};
+
+/// The four schemes evaluated throughout §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Murphy (this paper).
+    Murphy,
+    /// Sage-style causal-DAG counterfactual engine.
+    Sage,
+    /// NetMedic.
+    NetMedic,
+    /// ExplainIt.
+    ExplainIt,
+}
+
+impl SchemeKind {
+    /// All four, in the paper's usual legend order.
+    pub const ALL: [SchemeKind; 4] = [
+        SchemeKind::Murphy,
+        SchemeKind::Sage,
+        SchemeKind::NetMedic,
+        SchemeKind::ExplainIt,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Murphy => "Murphy",
+            SchemeKind::Sage => "Sage",
+            SchemeKind::NetMedic => "NetMedic",
+            SchemeKind::ExplainIt => "ExplainIT",
+        }
+    }
+
+    /// Construct the scheme. `murphy` configures the Murphy engine; the
+    /// baselines use their defaults (experiments that calibrate thresholds
+    /// construct baselines directly instead).
+    pub fn build(self, murphy: MurphyConfig) -> Box<dyn DiagnosisScheme> {
+        match self {
+            SchemeKind::Murphy => Box::new(MurphyScheme::new(murphy)),
+            SchemeKind::Sage => Box::new(Sage::new()),
+            SchemeKind::NetMedic => Box::new(NetMedic::new()),
+            SchemeKind::ExplainIt => Box::new(ExplainIt::new()),
+        }
+    }
+}
+
+/// All four schemes with a shared Murphy configuration.
+pub fn all_schemes(murphy: MurphyConfig) -> Vec<(SchemeKind, Box<dyn DiagnosisScheme>)> {
+    SchemeKind::ALL
+        .iter()
+        .map(|&k| (k, k.build(murphy)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_order() {
+        let labels: Vec<&str> = SchemeKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["Murphy", "Sage", "NetMedic", "ExplainIT"]);
+    }
+
+    #[test]
+    fn build_constructs_every_scheme() {
+        let schemes = all_schemes(MurphyConfig::fast());
+        assert_eq!(schemes.len(), 4);
+        for (kind, scheme) in &schemes {
+            assert_eq!(scheme.name(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Sensitivity analysis (§6.8) and design-choice ablations.
+//!
+//! The paper discusses Murphy's sensitivity to its two main knobs — the
+//! Gibbs pass count `W` and the training-window length — and implies the
+//! rest of the design through its choices. This module sweeps:
+//!
+//! * `W` ∈ {1, 2, 4, 8} — accuracy should rise with diminishing returns
+//!   (the §6.8 trade-off against runtime),
+//! * subgraph slack ∈ {0, 2} — the ablation for this reproduction's
+//!   resampling-set extension (DESIGN.md §5): slack 0 is the strict
+//!   shortest-path subgraph,
+//! * factor model family — ridge vs the alternatives of §6.6.1, this time
+//!   measured end-to-end on diagnosis accuracy rather than on prediction
+//!   error.
+
+use crate::accuracy::AccuracyAccumulator;
+use crate::fig6::{contention_scenario, App};
+use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_graph::prune_candidates;
+use murphy_learn::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the sensitivity sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityConfig {
+    /// Scenarios per configuration point.
+    pub scenarios: usize,
+    /// Trace length.
+    pub ticks: u64,
+    /// Base Murphy configuration (each sweep varies one knob).
+    pub murphy: MurphyConfig,
+}
+
+impl SensitivityConfig {
+    /// Paper-shaped defaults.
+    pub fn paper() -> Self {
+        Self {
+            scenarios: 32,
+            ticks: 360,
+            murphy: MurphyConfig::paper(),
+        }
+    }
+
+    /// Reduced scale for tests/CI.
+    pub fn fast() -> Self {
+        Self {
+            scenarios: 3,
+            ticks: 240,
+            murphy: MurphyConfig::fast(),
+        }
+    }
+}
+
+/// One sweep's results: `(knob value label, recall@5, recall@1)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResults {
+    /// Which knob was swept.
+    pub knob: String,
+    /// Points of the sweep.
+    pub points: Vec<(String, f64, f64)>,
+}
+
+fn accuracy_with(config: &SensitivityConfig, murphy: MurphyConfig, seed_base: u64) -> (f64, f64) {
+    let mut acc = AccuracyAccumulator::new(5);
+    for v in 0..config.scenarios {
+        let seed = seed_base + v as u64;
+        let s = contention_scenario(App::HotelReservation, seed, config.ticks, 2);
+        let candidates = prune_candidates(&s.db, &s.graph, s.symptom.entity, 1.0);
+        let ranked = MurphyScheme::new(murphy).diagnose(&SchemeContext {
+            db: &s.db,
+            graph: &s.graph,
+            symptom: s.symptom,
+            candidates: &candidates,
+            n_train: murphy.n_train,
+        });
+        acc.record(&ranked, &s.ground_truth, &s.relaxed_truth);
+    }
+    (acc.recall_at(5), acc.recall_at(1))
+}
+
+/// Sweep the Gibbs pass count W.
+pub fn sweep_gibbs_rounds(config: &SensitivityConfig) -> SweepResults {
+    let points = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| {
+            let murphy = config.murphy.with_gibbs_rounds(w);
+            let (r5, r1) = accuracy_with(config, murphy, 5000);
+            (format!("W={w}"), r5, r1)
+        })
+        .collect();
+    SweepResults {
+        knob: "gibbs_rounds".to_string(),
+        points,
+    }
+}
+
+/// Ablate the subgraph slack (0 = the strict shortest-path subgraph).
+pub fn sweep_subgraph_slack(config: &SensitivityConfig) -> SweepResults {
+    let points = [0usize, 1, 2]
+        .iter()
+        .map(|&slack| {
+            let mut murphy = config.murphy;
+            murphy.subgraph_slack = slack;
+            let (r5, r1) = accuracy_with(config, murphy, 5100);
+            (format!("slack={slack}"), r5, r1)
+        })
+        .collect();
+    SweepResults {
+        knob: "subgraph_slack".to_string(),
+        points,
+    }
+}
+
+/// Compare factor model families end-to-end.
+pub fn sweep_model_family(config: &SensitivityConfig) -> SweepResults {
+    let points = ModelKind::ALL
+        .iter()
+        .map(|&model| {
+            let murphy = config.murphy.with_model(model);
+            let (r5, r1) = accuracy_with(config, murphy, 5200);
+            (model.label().to_string(), r5, r1)
+        })
+        .collect();
+    SweepResults {
+        knob: "factor_model".to_string(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gibbs_sweep_has_expected_shape() {
+        let results = sweep_gibbs_rounds(&SensitivityConfig::fast());
+        assert_eq!(results.points.len(), 4);
+        // W=4 at least matches W=1 (more propagation can't hurt recall
+        // beyond sampling noise on these scenarios).
+        let r = |label: &str| {
+            results
+                .points
+                .iter()
+                .find(|(l, _, _)| l == label)
+                .map(|&(_, r5, _)| r5)
+                .unwrap()
+        };
+        assert!(r("W=4") + 0.34 >= r("W=1"));
+        for (_, r5, r1) in &results.points {
+            assert!((0.0..=1.0).contains(r5));
+            assert!(r5 >= r1);
+        }
+    }
+
+    #[test]
+    fn slack_ablation_runs() {
+        let results = sweep_subgraph_slack(&SensitivityConfig {
+            scenarios: 2,
+            ..SensitivityConfig::fast()
+        });
+        assert_eq!(results.points.len(), 3);
+        // Slack 2 (the default) at least matches the strict subgraph.
+        let strict = results.points[0].1;
+        let slack2 = results.points[2].1;
+        assert!(slack2 + 0.51 >= strict);
+    }
+
+    #[test]
+    fn model_sweep_covers_all_families() {
+        let results = sweep_model_family(&SensitivityConfig {
+            scenarios: 1,
+            ..SensitivityConfig::fast()
+        });
+        assert_eq!(results.points.len(), 4);
+        let labels: Vec<&str> = results.points.iter().map(|(l, _, _)| l.as_str()).collect();
+        assert!(labels.contains(&"linear regression"));
+        assert!(labels.contains(&"neural network"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Table 1: false positives on the 13 enterprise incidents (§6.2).
+//!
+//! Each scheme diagnoses every incident; we count false positives —
+//! reported entities that are not in the operator-decided ground truth.
+//! Per the paper's methodology, scheme parameters are first *calibrated*
+//! on the two full-certainty incidents (2 and 13): each scheme's
+//! reporting threshold is loosened just enough to keep recall = 1 there,
+//! then frozen for the full run.
+
+use crate::schemes::SchemeKind;
+use murphy_baselines::{DiagnosisScheme, ExplainIt, MurphyScheme, NetMedic, SchemeContext};
+use murphy_core::MurphyConfig;
+use murphy_graph::prune_candidates;
+use murphy_sim::incidents::{build_incident, IncidentSpec, TABLE1};
+use murphy_sim::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Table 1 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Config {
+    /// Training-window ticks.
+    pub n_train: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Murphy engine configuration.
+    pub murphy: MurphyConfig,
+}
+
+impl Table1Config {
+    /// Paper-shaped defaults.
+    pub fn paper() -> Self {
+        Self {
+            n_train: 200,
+            seed: 42,
+            murphy: MurphyConfig::paper(),
+        }
+    }
+
+    /// Reduced scale for tests/CI.
+    pub fn fast() -> Self {
+        let mut murphy = MurphyConfig::fast().with_num_samples(200);
+        murphy.max_candidates = 24;
+        Self {
+            n_train: 150,
+            seed: 42,
+            murphy,
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Incident id (1-based) and description.
+    pub id: usize,
+    /// Paper description of the observed problem.
+    pub description: String,
+    /// False positives per scheme: Murphy, NetMedic, ExplainIt.
+    pub fps: [usize; 3],
+    /// Whether each scheme recalled the ground truth at all.
+    pub recalled: [bool; 3],
+}
+
+/// Full Table 1 results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Results {
+    /// Per-incident rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Results {
+    /// Average false positives per scheme (the table's last row).
+    pub fn average_fps(&self) -> [f64; 3] {
+        let n = self.rows.len().max(1) as f64;
+        let mut out = [0.0; 3];
+        for row in &self.rows {
+            for i in 0..3 {
+                out[i] += row.fps[i] as f64;
+            }
+        }
+        for v in &mut out {
+            *v /= n;
+        }
+        out
+    }
+
+    /// Overall recall per scheme across incidents.
+    pub fn recall(&self) -> [f64; 3] {
+        let n = self.rows.len().max(1) as f64;
+        let mut out = [0.0; 3];
+        for row in &self.rows {
+            for i in 0..3 {
+                if row.recalled[i] {
+                    out[i] += 1.0;
+                }
+            }
+        }
+        for v in &mut out {
+            *v /= n;
+        }
+        out
+    }
+}
+
+fn diagnose(scheme: &dyn DiagnosisScheme, s: &Scenario, n_train: usize) -> Vec<murphy_telemetry::EntityId> {
+    let candidates = prune_candidates(&s.db, &s.graph, s.symptom.entity, 1.0);
+    let ctx = SchemeContext {
+        db: &s.db,
+        graph: &s.graph,
+        symptom: s.symptom,
+        candidates: &candidates,
+        n_train,
+    };
+    scheme.diagnose(&ctx)
+}
+
+/// Calibrate a baseline's threshold on the calibration incidents: pick the
+/// largest threshold from `grid` (descending) that keeps the ground truth
+/// in the output for *all* calibration scenarios; fall back to the loosest.
+fn calibrate<F>(build: F, grid: &[f64], calibration: &[(IncidentSpec, Scenario)], n_train: usize) -> f64
+where
+    F: Fn(f64) -> Box<dyn DiagnosisScheme>,
+{
+    for &threshold in grid {
+        let scheme = build(threshold);
+        let ok = calibration.iter().all(|(_, s)| {
+            let ranked = diagnose(scheme.as_ref(), s, n_train);
+            s.ground_truth.iter().all(|t| ranked.contains(t))
+        });
+        if ok {
+            return threshold;
+        }
+    }
+    *grid.last().unwrap_or(&0.0)
+}
+
+/// Run Table 1: calibrate on incidents 2 and 13, then evaluate all 13.
+pub fn run(config: &Table1Config) -> Table1Results {
+    let scenarios: Vec<(IncidentSpec, Scenario)> = TABLE1
+        .iter()
+        .map(|&spec| (spec, build_incident(spec, config.seed)))
+        .collect();
+
+    // Calibration incidents: ids 2 and 13 (full ground-truth certainty).
+    // A calibration incident is only usable when its ground truth is in
+    // the shared candidate space at all — incident 13's root cause is the
+    // observed entity itself, which no scheme can report (the candidate
+    // BFS never returns the symptom entity), so requiring recall there
+    // would push every threshold to "report everything".
+    let calibration: Vec<(IncidentSpec, Scenario)> = scenarios
+        .iter()
+        .filter(|(spec, _)| spec.id == 2 || spec.id == 13)
+        .filter(|(_, s)| {
+            let candidates = prune_candidates(&s.db, &s.graph, s.symptom.entity, 1.0);
+            s.ground_truth.iter().all(|t| candidates.contains(t))
+        })
+        .map(|(spec, s)| (*spec, s.clone()))
+        .collect();
+
+    let explainit_threshold = calibrate(
+        |t| Box::new(ExplainIt::with_threshold(t)),
+        &[0.9, 0.8, 0.7, 0.6, 0.5, 0.3, 0.0],
+        &calibration,
+        config.n_train,
+    );
+    let netmedic_threshold = calibrate(
+        |t| Box::new(NetMedic::with_min_score(t)),
+        &[0.8, 0.6, 0.4, 0.2, 0.1, 0.0],
+        &calibration,
+        config.n_train,
+    );
+
+    let murphy = MurphyScheme::new(config.murphy);
+    let netmedic = NetMedic::with_min_score(netmedic_threshold);
+    let explainit = ExplainIt::with_threshold(explainit_threshold);
+    let schemes: [&dyn DiagnosisScheme; 3] = [&murphy, &netmedic, &explainit];
+
+    let rows = scenarios
+        .iter()
+        .map(|(spec, s)| {
+            let mut fps = [0usize; 3];
+            let mut recalled = [false; 3];
+            for (i, scheme) in schemes.iter().enumerate() {
+                let ranked = diagnose(*scheme, s, config.n_train);
+                fps[i] = ranked
+                    .iter()
+                    .filter(|e| !s.ground_truth.contains(e))
+                    .count();
+                recalled[i] = s.ground_truth.iter().any(|t| ranked.contains(t));
+            }
+            Table1Row {
+                id: spec.id,
+                description: spec.description.to_string(),
+                fps,
+                recalled,
+            }
+        })
+        .collect();
+
+    Table1Results { rows }
+}
+
+/// The Table 1 scheme order for reporting.
+pub const SCHEME_ORDER: [SchemeKind; 3] = [
+    SchemeKind::Murphy,
+    SchemeKind::NetMedic,
+    SchemeKind::ExplainIt,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn murphy_produces_fewest_false_positives() {
+        let results = run(&Table1Config::fast());
+        assert_eq!(results.rows.len(), 13);
+        let [murphy_fp, netmedic_fp, explainit_fp] = results.average_fps();
+        // The headline of Table 1: Murphy ≪ NetMedic, ExplainIt.
+        assert!(
+            murphy_fp < netmedic_fp,
+            "Murphy {murphy_fp} vs NetMedic {netmedic_fp}"
+        );
+        assert!(
+            murphy_fp < explainit_fp,
+            "Murphy {murphy_fp} vs ExplainIT {explainit_fp}"
+        );
+        // Comparable recall: Murphy's recall is at least in the same band
+        // (the paper calibrates all schemes to recall ≈ 0.53–0.56).
+        let recalls = results.recall();
+        assert!(recalls[0] >= 0.4, "Murphy recall = {}", recalls[0]);
+    }
+
+    #[test]
+    fn rows_carry_descriptions_in_order() {
+        let results = run(&Table1Config::fast());
+        assert_eq!(results.rows[0].id, 1);
+        assert_eq!(results.rows[12].id, 13);
+        assert!(results.rows[1].description.contains("502"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Relationship-graph construction (§4.1).
+//!
+//! Murphy queries the monitoring database for a seed set `S` of entities
+//! relevant to the problem — all members of an affected application, or a
+//! single problematic entity — then expands `S = neighbors(S)` recursively.
+//! If the graph would become intractably large, expansion is stopped after
+//! a few iterations (the hop limit).
+//!
+//! Each discovered association expands to directed edges per its
+//! [`Directionality`](murphy_telemetry::Directionality): both ways when the
+//! direction is unknown (the conservative default that creates cycles), a
+//! single edge when a causal direction is known.
+
+use crate::graph::RelationshipGraph;
+use murphy_telemetry::{EntityId, MonitoringDb};
+use std::collections::BTreeSet;
+
+/// Options for graph construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Maximum hops away from the seed set to expand. `None` means expand
+    /// until the reachable set is exhausted. The enterprise incident data
+    /// set uses 4 (§5.1.1).
+    pub max_hops: Option<usize>,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self { max_hops: None }
+    }
+}
+
+impl BuildOptions {
+    /// The paper's enterprise setting: entities up to four hops away.
+    pub fn four_hops() -> Self {
+        Self { max_hops: Some(4) }
+    }
+}
+
+/// Build the relationship graph from a seed set of entities.
+///
+/// Unknown seed entities are ignored. The result contains every entity
+/// within `max_hops` of a seed (by undirected association adjacency), and
+/// all directed edges among those entities.
+pub fn build_from_seeds(
+    db: &MonitoringDb,
+    seeds: &[EntityId],
+    options: BuildOptions,
+) -> RelationshipGraph {
+    let mut graph = RelationshipGraph::new();
+    let mut visited: BTreeSet<EntityId> = BTreeSet::new();
+    let mut frontier: Vec<EntityId> = seeds
+        .iter()
+        .copied()
+        .filter(|&e| db.entity(e).is_some())
+        .collect();
+    frontier.sort();
+    frontier.dedup();
+    for &e in &frontier {
+        visited.insert(e);
+        graph.add_node(e);
+    }
+
+    let mut hops = 0usize;
+    while !frontier.is_empty() {
+        if let Some(max) = options.max_hops {
+            if hops >= max {
+                break;
+            }
+        }
+        let mut next: Vec<EntityId> = Vec::new();
+        for &e in &frontier {
+            for n in db.neighbors(e) {
+                if visited.insert(n) {
+                    graph.add_node(n);
+                    next.push(n);
+                }
+            }
+        }
+        frontier = next;
+        hops += 1;
+    }
+
+    // Materialize directed edges among included nodes.
+    for assoc in db.associations() {
+        if graph.contains(assoc.a) && graph.contains(assoc.b) {
+            for (from, to) in assoc.directed_edges() {
+                graph.add_edge(from, to);
+            }
+        }
+    }
+    graph
+}
+
+/// Build the graph seeded by an application's members (§4.1: "if the input
+/// to Murphy is an affected application A, then S is the set of all
+/// entities that the system considers to be members of A").
+pub fn build_from_application(
+    db: &MonitoringDb,
+    app: &str,
+    options: BuildOptions,
+) -> RelationshipGraph {
+    build_from_seeds(db, &db.application_members(app), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_telemetry::{AssociationKind, EntityKind};
+
+    /// Chain: vm0 -- vm1 -- vm2 -- vm3 -- vm4, plus a directed call
+    /// vm0 → vm4 recorded as a ServiceCall.
+    fn chain_db() -> (MonitoringDb, Vec<EntityId>) {
+        let mut db = MonitoringDb::new(10);
+        let vms: Vec<EntityId> = (0..5)
+            .map(|i| db.add_entity(EntityKind::Vm, format!("vm{i}")))
+            .collect();
+        for w in vms.windows(2) {
+            db.relate(w[0], w[1], AssociationKind::Related);
+        }
+        db.relate_directed(vms[0], vms[4], AssociationKind::ServiceCall);
+        (db, vms)
+    }
+
+    #[test]
+    fn full_expansion_reaches_everything() {
+        let (db, vms) = chain_db();
+        let g = build_from_seeds(&db, &[vms[0]], BuildOptions::default());
+        assert_eq!(g.node_count(), 5);
+        // 4 undirected associations -> 8 directed edges, + 1 directed call.
+        assert_eq!(g.edge_count(), 9);
+        assert!(g.has_edge(vms[0], vms[4]));
+        assert!(!g.has_edge(vms[4], vms[0]));
+    }
+
+    #[test]
+    fn hop_limit_stops_expansion() {
+        let (db, vms) = chain_db();
+        let g = build_from_seeds(&db, &[vms[0]], BuildOptions { max_hops: Some(2) });
+        // vm0 (seed) + vm1 (hop 1) + vm2 (hop 2); note vm4 is 1 hop via the
+        // directed call association (associations define adjacency).
+        assert!(g.contains(vms[0]));
+        assert!(g.contains(vms[1]));
+        assert!(g.contains(vms[2]));
+        assert!(g.contains(vms[4])); // adjacent to vm0 through ServiceCall
+        assert!(!g.contains(vms[3]) || g.node_count() <= 5);
+    }
+
+    #[test]
+    fn one_hop_is_seed_plus_neighbors() {
+        let (db, vms) = chain_db();
+        let g = build_from_seeds(&db, &[vms[2]], BuildOptions { max_hops: Some(1) });
+        assert_eq!(g.node_count(), 3); // vm1, vm2, vm3
+        assert!(g.contains(vms[1]) && g.contains(vms[2]) && g.contains(vms[3]));
+    }
+
+    #[test]
+    fn zero_hops_is_seeds_only() {
+        let (db, vms) = chain_db();
+        let g = build_from_seeds(&db, &[vms[1], vms[3]], BuildOptions { max_hops: Some(0) });
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0); // vm1 and vm3 are not directly associated
+    }
+
+    #[test]
+    fn unknown_seeds_ignored() {
+        let (db, _) = chain_db();
+        let g = build_from_seeds(&db, &[EntityId(99)], BuildOptions::default());
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_seeds_collapse() {
+        let (db, vms) = chain_db();
+        let g = build_from_seeds(
+            &db,
+            &[vms[0], vms[0], vms[0]],
+            BuildOptions { max_hops: Some(0) },
+        );
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn application_seeding() {
+        let (mut db, vms) = chain_db();
+        db.tag_application("shop", vms[1]);
+        db.tag_application("shop", vms[2]);
+        let g = build_from_application(&db, "shop", BuildOptions { max_hops: Some(0) });
+        assert_eq!(g.node_count(), 2);
+        // Edges among seed members are included even with 0 hops.
+        assert!(g.has_edge(vms[1], vms[2]));
+        assert!(g.has_edge(vms[2], vms[1]));
+        let empty = build_from_application(&db, "nope", BuildOptions::default());
+        assert_eq!(empty.node_count(), 0);
+    }
+
+    #[test]
+    fn directed_association_gives_one_edge() {
+        let mut db = MonitoringDb::new(10);
+        let a = db.add_entity(EntityKind::Service, "caller");
+        let b = db.add_entity(EntityKind::Service, "callee");
+        db.relate_directed(a, b, AssociationKind::ServiceCall);
+        let g = build_from_seeds(&db, &[a], BuildOptions::default());
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Cycle statistics.
+//!
+//! §2.2 of the paper reports that across its 13-incident data set the
+//! relationship graph had, on average, over 2000 cycles of length 2 and
+//! over 4000 of length 3, and that every affected-application VM was in at
+//! least one cycle. These statistics are reproduced by [`CycleStats`] and
+//! used both in reports and to sanity-check the simulators (cycles must be
+//! the common case, or the evaluation environment is unrealistically
+//! DAG-like).
+
+use crate::graph::{NodeIdx, RelationshipGraph};
+use serde::{Deserialize, Serialize};
+
+/// Counts of short directed cycles in a relationship graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Directed 2-cycles (pairs `u⇄v`), counted once per pair.
+    pub len2: usize,
+    /// Directed 3-cycles (`u→v→w→u`), counted once per cycle.
+    pub len3: usize,
+}
+
+impl CycleStats {
+    /// Count 2- and 3-cycles.
+    ///
+    /// 2-cycles: unordered pairs with edges both ways. 3-cycles: directed
+    /// triangles, each counted once (not once per rotation).
+    pub fn count(graph: &RelationshipGraph) -> CycleStats {
+        let n = graph.node_count();
+        let mut len2 = 0usize;
+        for u in 0..n {
+            for &v in graph.out_nbrs(u) {
+                if v > u && graph.out_nbrs(v).contains(&u) {
+                    len2 += 1;
+                }
+            }
+        }
+        // Count directed triangles u→v→w→u once each: enumerate with u as
+        // the smallest index and divide rotations out by construction.
+        let mut len3 = 0usize;
+        for u in 0..n {
+            for &v in graph.out_nbrs(u) {
+                if v <= u {
+                    continue;
+                }
+                for &w in graph.out_nbrs(v) {
+                    if w <= u || w == v {
+                        continue;
+                    }
+                    if graph.out_nbrs(w).contains(&u) {
+                        len3 += 1;
+                    }
+                }
+            }
+        }
+        CycleStats { len2, len3 }
+    }
+}
+
+/// Whether a node lies on at least one directed cycle (of any length).
+///
+/// A node is on a cycle iff it can reach itself through at least one edge;
+/// we run a BFS from each of the node's successors back to it.
+pub fn on_cycle(graph: &RelationshipGraph, node: NodeIdx) -> bool {
+    use std::collections::VecDeque;
+    let n = graph.node_count();
+    if node >= n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<NodeIdx> = graph.out_nbrs(node).iter().copied().collect();
+    for &s in graph.out_nbrs(node) {
+        seen[s] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        if u == node {
+            return true;
+        }
+        for &v in graph.out_nbrs(u) {
+            if v == node {
+                return true;
+            }
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    false
+}
+
+/// Fraction of the graph's nodes that lie on at least one directed cycle.
+pub fn fraction_on_cycles(graph: &RelationshipGraph) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let on = (0..n).filter(|&v| on_cycle(graph, v)).count();
+    on as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_telemetry::EntityId;
+
+    fn e(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    fn bidir_pair() -> RelationshipGraph {
+        let mut g = RelationshipGraph::new();
+        g.add_node(e(0));
+        g.add_node(e(1));
+        g.add_edge(e(0), e(1));
+        g.add_edge(e(1), e(0));
+        g
+    }
+
+    #[test]
+    fn two_cycle_counted_once() {
+        let g = bidir_pair();
+        let stats = CycleStats::count(&g);
+        assert_eq!(stats.len2, 1);
+        assert_eq!(stats.len3, 0);
+    }
+
+    #[test]
+    fn directed_triangle_counted_once() {
+        let mut g = RelationshipGraph::new();
+        for i in 0..3 {
+            g.add_node(e(i));
+        }
+        g.add_edge(e(0), e(1));
+        g.add_edge(e(1), e(2));
+        g.add_edge(e(2), e(0));
+        let stats = CycleStats::count(&g);
+        assert_eq!(stats.len2, 0);
+        assert_eq!(stats.len3, 1);
+    }
+
+    #[test]
+    fn bidirectional_triangle_has_two_directed_triangles() {
+        // A fully bidirectional triangle contains the cycle in both
+        // orientations plus three 2-cycles.
+        let mut g = RelationshipGraph::new();
+        for i in 0..3 {
+            g.add_node(e(i));
+        }
+        for &(x, y) in &[(0u32, 1u32), (1, 2), (2, 0)] {
+            g.add_edge(e(x), e(y));
+            g.add_edge(e(y), e(x));
+        }
+        let stats = CycleStats::count(&g);
+        assert_eq!(stats.len2, 3);
+        assert_eq!(stats.len3, 2);
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let mut g = RelationshipGraph::new();
+        for i in 0..4 {
+            g.add_node(e(i));
+        }
+        g.add_edge(e(0), e(1));
+        g.add_edge(e(0), e(2));
+        g.add_edge(e(1), e(3));
+        g.add_edge(e(2), e(3));
+        let stats = CycleStats::count(&g);
+        assert_eq!(stats, CycleStats { len2: 0, len3: 0 });
+        assert_eq!(fraction_on_cycles(&g), 0.0);
+        for v in 0..4 {
+            assert!(!on_cycle(&g, v));
+        }
+    }
+
+    #[test]
+    fn on_cycle_detects_long_cycles() {
+        // 0 → 1 → 2 → 3 → 0, plus pendant 4.
+        let mut g = RelationshipGraph::new();
+        for i in 0..5 {
+            g.add_node(e(i));
+        }
+        g.add_edge(e(0), e(1));
+        g.add_edge(e(1), e(2));
+        g.add_edge(e(2), e(3));
+        g.add_edge(e(3), e(0));
+        g.add_edge(e(0), e(4));
+        for v in 0..4 {
+            assert!(on_cycle(&g, v), "node {v} should be on the 4-cycle");
+        }
+        assert!(!on_cycle(&g, 4));
+        assert!((fraction_on_cycles(&g) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = RelationshipGraph::new();
+        assert_eq!(CycleStats::count(&g), CycleStats { len2: 0, len3: 0 });
+        assert_eq!(fraction_on_cycles(&g), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The relationship graph structure.
+//!
+//! A [`RelationshipGraph`] holds a subset of a monitoring database's
+//! entities with dense local indices (`NodeIdx`) and directed adjacency
+//! in both directions. Edges come from expanding associations per §4.1:
+//! an association with unknown direction contributes edges both ways.
+
+use murphy_telemetry::EntityId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Dense local node index within one graph.
+pub type NodeIdx = usize;
+
+/// Directed relationship graph over a set of entities.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RelationshipGraph {
+    nodes: Vec<EntityId>,
+    index: BTreeMap<EntityId, NodeIdx>,
+    out_nbrs: Vec<Vec<NodeIdx>>,
+    in_nbrs: Vec<Vec<NodeIdx>>,
+}
+
+impl RelationshipGraph {
+    /// New empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node (idempotent); returns its local index.
+    pub fn add_node(&mut self, entity: EntityId) -> NodeIdx {
+        if let Some(&idx) = self.index.get(&entity) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(entity);
+        self.index.insert(entity, idx);
+        self.out_nbrs.push(Vec::new());
+        self.in_nbrs.push(Vec::new());
+        idx
+    }
+
+    /// Add a directed edge `from → to` between existing nodes.
+    /// Duplicate edges and self-loops are ignored (associations may repeat
+    /// in metadata; a self-loop carries no influence information).
+    pub fn add_edge(&mut self, from: EntityId, to: EntityId) {
+        let (Some(&f), Some(&t)) = (self.index.get(&from), self.index.get(&to)) else {
+            return;
+        };
+        if f == t || self.out_nbrs[f].contains(&t) {
+            return;
+        }
+        self.out_nbrs[f].push(t);
+        self.in_nbrs[t].push(f);
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_nbrs.iter().map(|v| v.len()).sum()
+    }
+
+    /// Entity at a local index.
+    pub fn entity(&self, idx: NodeIdx) -> EntityId {
+        self.nodes[idx]
+    }
+
+    /// Local index of an entity, if present.
+    pub fn node(&self, entity: EntityId) -> Option<NodeIdx> {
+        self.index.get(&entity).copied()
+    }
+
+    /// True when the entity is in the graph.
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.index.contains_key(&entity)
+    }
+
+    /// All entities, in insertion order.
+    pub fn entities(&self) -> &[EntityId] {
+        &self.nodes
+    }
+
+    /// Outgoing neighbors of a node.
+    pub fn out_nbrs(&self, idx: NodeIdx) -> &[NodeIdx] {
+        &self.out_nbrs[idx]
+    }
+
+    /// Incoming neighbors of a node — the `in_nbrs(v)` of the paper's
+    /// factor definition `P_v(v | in_nbrs(v))`.
+    pub fn in_nbrs(&self, idx: NodeIdx) -> &[NodeIdx] {
+        &self.in_nbrs[idx]
+    }
+
+    /// Incoming neighbor entities of an entity.
+    pub fn in_nbr_entities(&self, entity: EntityId) -> Vec<EntityId> {
+        match self.node(entity) {
+            Some(idx) => self.in_nbrs[idx].iter().map(|&i| self.nodes[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// True when the directed edge `from → to` exists.
+    pub fn has_edge(&self, from: EntityId, to: EntityId) -> bool {
+        match (self.node(from), self.node(to)) {
+            (Some(f), Some(t)) => self.out_nbrs[f].contains(&t),
+            _ => false,
+        }
+    }
+
+    /// Iterate all directed edges as `(from, to)` entity pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EntityId, EntityId)> + '_ {
+        self.out_nbrs.iter().enumerate().flat_map(move |(f, outs)| {
+            outs.iter().map(move |&t| (self.nodes[f], self.nodes[t]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut g = RelationshipGraph::new();
+        let a = g.add_node(e(5));
+        let b = g.add_node(e(5));
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn edges_and_adjacency() {
+        let mut g = RelationshipGraph::new();
+        g.add_node(e(1));
+        g.add_node(e(2));
+        g.add_node(e(3));
+        g.add_edge(e(1), e(2));
+        g.add_edge(e(2), e(1));
+        g.add_edge(e(2), e(3));
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(e(1), e(2)));
+        assert!(g.has_edge(e(2), e(1)));
+        assert!(!g.has_edge(e(3), e(2)));
+        assert_eq!(g.in_nbr_entities(e(3)), vec![e(2)]);
+        assert_eq!(g.in_nbr_entities(e(1)), vec![e(2)]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = RelationshipGraph::new();
+        g.add_node(e(1));
+        g.add_node(e(2));
+        g.add_edge(e(1), e(2));
+        g.add_edge(e(1), e(2));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = RelationshipGraph::new();
+        g.add_node(e(1));
+        g.add_edge(e(1), e(1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_to_unknown_nodes_ignored() {
+        let mut g = RelationshipGraph::new();
+        g.add_node(e(1));
+        g.add_edge(e(1), e(9));
+        g.add_edge(e(9), e(1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_iteration() {
+        let mut g = RelationshipGraph::new();
+        for i in 1..=3 {
+            g.add_node(e(i));
+        }
+        g.add_edge(e(1), e(2));
+        g.add_edge(e(2), e(3));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(e(1), e(2)), (e(2), e(3))]);
+    }
+
+    #[test]
+    fn absent_entity_queries() {
+        let g = RelationshipGraph::new();
+        assert_eq!(g.node(e(1)), None);
+        assert!(!g.contains(e(1)));
+        assert!(g.in_nbr_entities(e(1)).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Relationship graph for the Murphy reproduction (§4.1 of the paper).
+//!
+//! The relationship graph models *loose* associations between entities:
+//! directed edges in both directions by default (the platform usually
+//! cannot discern influence direction), a single directed edge where the
+//! direction is known (e.g. caller → callee), and — critically — **cycles
+//! as the common case** (§2.2).
+//!
+//! * [`graph`] — the [`graph::RelationshipGraph`] structure: dense local
+//!   node indexing, in/out adjacency, degree queries.
+//! * [`build`] — construction by recursive neighborhood expansion from a
+//!   seed set `S` (an affected application's entities or one problematic
+//!   entity), with an optional hop limit for intractably large graphs.
+//! * [`paths`] — BFS distances and the *shortest-path subgraph* `T(A→D)`
+//!   that the adapted Gibbs sampler resamples, ordered by increasing
+//!   distance from the candidate root cause.
+//! * [`cycles`] — cycle statistics (length-2 and length-3 counts, per-node
+//!   cycle membership) used to reproduce the §2.2 measurements.
+//! * [`prune`] — the conservative-threshold BFS that narrows the root-cause
+//!   search space (§4.2), shared by Murphy and all baselines for fairness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod cycles;
+pub mod graph;
+pub mod paths;
+pub mod prune;
+
+pub use build::{build_from_seeds, BuildOptions};
+pub use cycles::CycleStats;
+pub use graph::{NodeIdx, RelationshipGraph};
+pub use paths::ShortestPathSubgraph;
+pub use prune::prune_candidates;

@@ -1,0 +1,269 @@
+//! BFS distances and the shortest-path subgraph.
+//!
+//! The adapted Gibbs sampler (§4.2) does not resample the full graph: it
+//! resamples only "the entities in the shortest path subgraph from A to D",
+//! ordered by increasing distance from A. A node v belongs to that
+//! subgraph exactly when `dist(A→v) + dist(v→D) == dist(A→D)` in the
+//! directed relationship graph.
+
+use crate::graph::{NodeIdx, RelationshipGraph};
+use murphy_telemetry::EntityId;
+use std::collections::VecDeque;
+
+/// BFS distances (hop counts) from a source along outgoing edges.
+/// Unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(graph: &RelationshipGraph, source: NodeIdx) -> Vec<usize> {
+    bfs_with(graph, source, |g, n| g.out_nbrs(n))
+}
+
+/// BFS distances *to* a target, i.e. along incoming edges reversed.
+pub fn bfs_distances_rev(graph: &RelationshipGraph, target: NodeIdx) -> Vec<usize> {
+    bfs_with(graph, target, |g, n| g.in_nbrs(n))
+}
+
+fn bfs_with<'g, F>(graph: &'g RelationshipGraph, source: NodeIdx, nbrs: F) -> Vec<usize>
+where
+    F: Fn(&'g RelationshipGraph, NodeIdx) -> &'g [NodeIdx],
+{
+    let n = graph.node_count();
+    let mut dist = vec![usize::MAX; n];
+    if source >= n {
+        return dist;
+    }
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for &v in nbrs(graph, u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The shortest-path subgraph `T(A→D)` with its resampling order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPathSubgraph {
+    /// Nodes on some shortest path from A to D, ordered by increasing
+    /// distance from A (ties broken by node index for determinism).
+    /// Excludes A itself (whose value is pinned to the counterfactual)
+    /// and includes D last.
+    pub order: Vec<NodeIdx>,
+    /// Distance from A to D in hops.
+    pub distance: usize,
+}
+
+impl ShortestPathSubgraph {
+    /// Compute `T(A→D)`. Returns `None` when D is unreachable from A —
+    /// in that case the candidate A cannot influence D through the graph
+    /// and Murphy skips it.
+    pub fn compute(
+        graph: &RelationshipGraph,
+        from: EntityId,
+        to: EntityId,
+    ) -> Option<ShortestPathSubgraph> {
+        Self::compute_with_slack(graph, from, to, 0)
+    }
+
+    /// Compute `T(A→D)` with slack: include every node on an A→D walk of
+    /// length at most `dist(A,D) + slack`, i.e. nodes v with
+    /// `dist(A→v) + dist(v→D) ≤ dist(A→D) + slack`.
+    ///
+    /// Slack 0 is the strict shortest-path subgraph. Murphy uses a small
+    /// positive slack by default: influence frequently makes short
+    /// "detours" through an adjacent entity — a service's congestion
+    /// signal passes through its container (service → container →
+    /// service), one hop off every shortest path — and those detour nodes
+    /// must be resampled for the counterfactual to propagate.
+    pub fn compute_with_slack(
+        graph: &RelationshipGraph,
+        from: EntityId,
+        to: EntityId,
+        slack: usize,
+    ) -> Option<ShortestPathSubgraph> {
+        let a = graph.node(from)?;
+        let d = graph.node(to)?;
+        if a == d {
+            return Some(ShortestPathSubgraph {
+                order: vec![d],
+                distance: 0,
+            });
+        }
+        let dist_a = bfs_distances(graph, a);
+        if dist_a[d] == usize::MAX {
+            return None;
+        }
+        let dist_to_d = bfs_distances_rev(graph, d);
+        let total = dist_a[d];
+        let mut members: Vec<NodeIdx> = (0..graph.node_count())
+            .filter(|&v| {
+                v != a
+                    && v != d
+                    && dist_a[v] != usize::MAX
+                    && dist_to_d[v] != usize::MAX
+                    && dist_a[v] + dist_to_d[v] <= total + slack
+            })
+            .collect();
+        // Close the set under on-walk in-neighbors: to propagate the
+        // counterfactual through a member, the member's *inputs* must be
+        // resampled too when they themselves sit on an A→D walk. This
+        // captures the ubiquitous one-hop detours (service → container →
+        // service) that a pure path criterion misses at every hop.
+        let mut closure: Vec<NodeIdx> = Vec::new();
+        let in_members = |set: &[NodeIdx], v: NodeIdx| set.contains(&v);
+        let mut closure_sources = members.clone();
+        closure_sources.push(d); // the target's own inputs matter most
+        for &v in &closure_sources {
+            for &w in graph.in_nbrs(v) {
+                if w != a
+                    && w != d
+                    && dist_a[w] != usize::MAX
+                    && dist_to_d[w] != usize::MAX
+                    && !in_members(&members, w)
+                    && !in_members(&closure, w)
+                {
+                    closure.push(w);
+                }
+            }
+        }
+        members.extend(closure);
+        members.sort_by_key(|&v| (dist_a[v], v));
+        // The target is always resampled last so the final read reflects
+        // the freshest upstream values.
+        members.push(d);
+        Some(ShortestPathSubgraph {
+            order: members,
+            distance: total,
+        })
+    }
+
+    /// Entities of the subgraph in resampling order.
+    pub fn entities<'g>(&self, graph: &'g RelationshipGraph) -> Vec<EntityId> {
+        self.order.iter().map(|&i| graph.entity(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u32) -> EntityId {
+        EntityId(n)
+    }
+
+    /// The toy graph of Figure 3: A–B, B–C, B–E, C–D, E–D, all
+    /// bidirectional.
+    fn figure3_graph() -> RelationshipGraph {
+        let mut g = RelationshipGraph::new();
+        for i in 0..5 {
+            g.add_node(e(i)); // 0=A 1=B 2=C 3=D 4=E
+        }
+        for &(x, y) in &[(0u32, 1u32), (1, 2), (1, 4), (2, 3), (4, 3)] {
+            g.add_edge(e(x), e(y));
+            g.add_edge(e(y), e(x));
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_figure3() {
+        let g = figure3_graph();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn reverse_bfs_matches_forward_on_symmetric_graph() {
+        let g = figure3_graph();
+        let fwd = bfs_distances(&g, 3);
+        let rev = bfs_distances_rev(&g, 3);
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn shortest_path_subgraph_figure3() {
+        // From A (0) to D (3): shortest paths are A-B-C-D and A-B-E-D.
+        // Subgraph = {B, C, E, D}, ordered by distance from A: B, then C
+        // and E (tied at 2), then D.
+        let g = figure3_graph();
+        let sp = ShortestPathSubgraph::compute(&g, e(0), e(3)).unwrap();
+        assert_eq!(sp.distance, 3);
+        assert_eq!(sp.order, vec![1, 2, 4, 3]);
+        assert_eq!(sp.entities(&g), vec![e(1), e(2), e(4), e(3)]);
+    }
+
+    #[test]
+    fn off_walk_nodes_are_excluded() {
+        let mut g = figure3_graph();
+        // Add a pendant node F reachable from C but with no edge back:
+        // F lies on no A→D walk and must not be resampled.
+        g.add_node(e(5));
+        g.add_edge(e(2), e(5));
+        let sp = ShortestPathSubgraph::compute(&g, e(0), e(3)).unwrap();
+        assert!(!sp.order.contains(&5));
+    }
+
+    #[test]
+    fn on_walk_inputs_are_closed_over() {
+        let mut g = figure3_graph();
+        // A bidirectional pendant F on C *is* an input of a member and
+        // lies on an A→D walk (A..C→F→C..D), so the closure includes it:
+        // C's factor reads F, and the counterfactual must refresh F too.
+        g.add_node(e(5));
+        g.add_edge(e(2), e(5));
+        g.add_edge(e(5), e(2));
+        let sp = ShortestPathSubgraph::compute(&g, e(0), e(3)).unwrap();
+        assert!(sp.order.contains(&5));
+        // The strict member set is still there and D is still last.
+        for member in [1usize, 2, 4] {
+            assert!(sp.order.contains(&member));
+        }
+        assert_eq!(*sp.order.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let mut g = RelationshipGraph::new();
+        g.add_node(e(0));
+        g.add_node(e(1));
+        // Only edge 1 → 0; 0 cannot reach 1.
+        g.add_edge(e(1), e(0));
+        assert!(ShortestPathSubgraph::compute(&g, e(0), e(1)).is_none());
+    }
+
+    #[test]
+    fn directed_shortest_paths_respect_orientation() {
+        // 0 → 1 → 2 and a long way back 2 → 0.
+        let mut g = RelationshipGraph::new();
+        for i in 0..3 {
+            g.add_node(e(i));
+        }
+        g.add_edge(e(0), e(1));
+        g.add_edge(e(1), e(2));
+        g.add_edge(e(2), e(0));
+        let sp = ShortestPathSubgraph::compute(&g, e(0), e(2)).unwrap();
+        assert_eq!(sp.distance, 2);
+        assert_eq!(sp.order, vec![1, 2]);
+        // And 2 → 0 directly.
+        let sp = ShortestPathSubgraph::compute(&g, e(2), e(0)).unwrap();
+        assert_eq!(sp.distance, 1);
+        assert_eq!(sp.order, vec![0]);
+    }
+
+    #[test]
+    fn same_source_and_target() {
+        let g = figure3_graph();
+        let sp = ShortestPathSubgraph::compute(&g, e(2), e(2)).unwrap();
+        assert_eq!(sp.distance, 0);
+        assert_eq!(sp.order, vec![2]);
+    }
+
+    #[test]
+    fn missing_entities_yield_none() {
+        let g = figure3_graph();
+        assert!(ShortestPathSubgraph::compute(&g, e(0), e(99)).is_none());
+        assert!(ShortestPathSubgraph::compute(&g, e(99), e(0)).is_none());
+    }
+}

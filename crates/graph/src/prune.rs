@@ -1,0 +1,172 @@
+//! Candidate-space pruning (§4.2).
+//!
+//! Murphy limits the set of potential root-cause entities via a breadth
+//! first search starting from the problematic entity, exploring neighbor
+//! entities that have metrics above very conservative thresholds and
+//! pruning out the rest. This reduces running time and improves precision.
+//! The paper provides the same pruned search space to every reference
+//! scheme for fairness — so this module is shared by `murphy-core` and
+//! `murphy-baselines`.
+
+use crate::graph::RelationshipGraph;
+use murphy_stats::Summary;
+use murphy_telemetry::{EntityId, MetricId, MonitoringDb};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Z-score above which a metric counts as hot relative to its own history
+/// even when below the absolute threshold.
+pub const HOT_Z: f64 = 3.0;
+
+/// Is any current metric of `entity` "hot"?
+///
+/// Two criteria, either suffices:
+///
+/// * **absolute** — the current value exceeds the metric kind's
+///   conservative threshold
+///   ([`MetricKind::threshold`](murphy_telemetry::MetricKind::threshold))
+///   scaled by `threshold_scale` (1.0 = the paper's defaults);
+/// * **relative** — the current value is more than [`HOT_Z`] standard
+///   deviations from the metric's *older* history (the first half of the
+///   stored series, so an ongoing incident doesn't inflate the reference).
+///   This is how operator thresholds behave for metrics without a
+///   universal scale, e.g. service latency.
+pub fn entity_is_hot(db: &MonitoringDb, entity: EntityId, threshold_scale: f64) -> bool {
+    db.metrics_of(entity).into_iter().any(|kind| {
+        let metric = MetricId::new(entity, kind);
+        let value = db.current_value(metric);
+        if value > kind.threshold() * threshold_scale {
+            return true;
+        }
+        let Some(series) = db.series(metric) else {
+            return false;
+        };
+        let values = series.values();
+        let reference = Summary::of(&values[..values.len() / 2]);
+        if reference.count < 8 {
+            return false;
+        }
+        let z = (value - reference.mean).abs() / reference.std_dev_floored(1e-9);
+        z > HOT_Z * threshold_scale.max(0.1)
+    })
+}
+
+/// BFS candidate pruning.
+///
+/// Starting from `symptom_entity`, explore neighbors whose metrics exceed
+/// conservative thresholds; an entity that is not "hot" is not expanded
+/// *through*, and is not reported as a candidate. The symptom entity is
+/// always explored (its metrics are problematic by definition) but is not
+/// itself returned as a candidate.
+///
+/// Returns candidates in BFS discovery order.
+pub fn prune_candidates(
+    db: &MonitoringDb,
+    graph: &RelationshipGraph,
+    symptom_entity: EntityId,
+    threshold_scale: f64,
+) -> Vec<EntityId> {
+    let Some(start) = graph.node(symptom_entity) else {
+        return Vec::new();
+    };
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    let mut candidates = Vec::new();
+    let mut queue = VecDeque::from([start]);
+    visited.insert(start);
+    while let Some(u) = queue.pop_front() {
+        let entity = graph.entity(u);
+        let hot = entity == symptom_entity || entity_is_hot(db, entity, threshold_scale);
+        if !hot {
+            continue; // pruned: neither a candidate nor expanded through
+        }
+        if entity != symptom_entity {
+            candidates.push(entity);
+        }
+        // Explore both edge directions: influence may flow either way
+        // through the loose associations.
+        for &v in graph.out_nbrs(u).iter().chain(graph.in_nbrs(u)) {
+            if visited.insert(v) {
+                queue.push_back(v);
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_from_seeds, BuildOptions};
+    use murphy_telemetry::{AssociationKind, EntityKind, MetricKind};
+
+    /// Chain svc -- vm1 -- vm2 -- vm3 with controllable CPU levels.
+    fn chain(cpu: [f64; 3]) -> (MonitoringDb, RelationshipGraph, EntityId, [EntityId; 3]) {
+        let mut db = MonitoringDb::new(10);
+        let svc = db.add_entity(EntityKind::Service, "svc");
+        let vms: Vec<EntityId> = (0..3)
+            .map(|i| db.add_entity(EntityKind::Vm, format!("vm{i}")))
+            .collect();
+        db.relate(svc, vms[0], AssociationKind::Related);
+        db.relate(vms[0], vms[1], AssociationKind::Related);
+        db.relate(vms[1], vms[2], AssociationKind::Related);
+        db.record(svc, MetricKind::Latency, 0, 500.0);
+        for (i, &c) in cpu.iter().enumerate() {
+            db.record(vms[i], MetricKind::CpuUtil, 0, c);
+        }
+        let graph = build_from_seeds(&db, &[svc], BuildOptions::default());
+        (db, graph, svc, [vms[0], vms[1], vms[2]])
+    }
+
+    #[test]
+    fn hot_chain_is_fully_explored() {
+        let (db, graph, svc, vms) = chain([90.0, 80.0, 70.0]);
+        let c = prune_candidates(&db, &graph, svc, 1.0);
+        assert_eq!(c, vec![vms[0], vms[1], vms[2]]);
+    }
+
+    #[test]
+    fn cold_entity_blocks_expansion() {
+        // vm1 is cold (CPU 5% < 25%): vm2 behind it is unreachable.
+        let (db, graph, svc, vms) = chain([90.0, 5.0, 95.0]);
+        let c = prune_candidates(&db, &graph, svc, 1.0);
+        assert_eq!(c, vec![vms[0]]);
+    }
+
+    #[test]
+    fn symptom_itself_is_not_a_candidate() {
+        let (db, graph, svc, _) = chain([90.0, 90.0, 90.0]);
+        let c = prune_candidates(&db, &graph, svc, 1.0);
+        assert!(!c.contains(&svc));
+    }
+
+    #[test]
+    fn threshold_scale_tightens_or_loosens() {
+        let (db, graph, svc, vms) = chain([30.0, 30.0, 30.0]);
+        // Default: 30% > 25% — everything qualifies.
+        assert_eq!(prune_candidates(&db, &graph, svc, 1.0).len(), 3);
+        // Scale 2.0: threshold 50% — nothing qualifies.
+        assert!(prune_candidates(&db, &graph, svc, 2.0).is_empty());
+        // Scale 0.1: threshold 2.5% — everything qualifies.
+        assert_eq!(prune_candidates(&db, &graph, svc, 0.1), vec![vms[0], vms[1], vms[2]]);
+    }
+
+    #[test]
+    fn symptom_not_in_graph_returns_empty() {
+        let (db, graph, _, _) = chain([90.0, 90.0, 90.0]);
+        assert!(prune_candidates(&db, &graph, EntityId(99), 1.0).is_empty());
+    }
+
+    #[test]
+    fn entity_is_hot_checks_any_metric() {
+        let mut db = MonitoringDb::new(10);
+        let vm = db.add_entity(EntityKind::Vm, "vm");
+        db.record(vm, MetricKind::CpuUtil, 0, 10.0); // below 25
+        db.record(vm, MetricKind::DropRate, 0, 0.5); // above 0.1
+        assert!(entity_is_hot(&db, vm, 1.0));
+        let cold = db.add_entity(EntityKind::Vm, "cold");
+        db.record(cold, MetricKind::CpuUtil, 0, 1.0);
+        assert!(!entity_is_hot(&db, cold, 1.0));
+        // No metrics at all: not hot.
+        let bare = db.add_entity(EntityKind::Vm, "bare");
+        assert!(!entity_is_hot(&db, bare, 1.0));
+    }
+}

@@ -1,0 +1,257 @@
+//! Gaussian mixture model with conditional-expectation prediction.
+//!
+//! One of the four candidate factor families of §6.6.1. We fit a
+//! diagonal-covariance mixture over the *joint* space (features ++ target)
+//! with expectation–maximization, then predict the target for a feature
+//! vector as the responsibility-weighted average of the components' target
+//! means — i.e. `E[y | x]` under the fitted mixture.
+
+use crate::model::{validate, FitError, Regressor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Variance floor to keep components from collapsing onto single points.
+const VAR_FLOOR: f64 = 1e-6;
+
+/// A fitted diagonal-covariance Gaussian mixture regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixture {
+    /// Mixture weights (sum to 1).
+    weights: Vec<f64>,
+    /// Component means over the joint space; last coordinate is the target.
+    means: Vec<Vec<f64>>,
+    /// Component diagonal variances over the joint space.
+    variances: Vec<Vec<f64>>,
+    num_features: usize,
+}
+
+impl GaussianMixture {
+    /// Fit with `k` components (capped by sample count) via EM.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], k: usize, seed: u64) -> Result<Self, FitError> {
+        validate(xs, ys)?;
+        let n = xs.len();
+        let d = xs[0].len();
+        let joint_dim = d + 1;
+        let k = k.clamp(1, n);
+
+        // Joint data rows.
+        let data: Vec<Vec<f64>> = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let mut row = x.clone();
+                row.push(y);
+                row
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let global_var: Vec<f64> = (0..joint_dim)
+            .map(|j| {
+                let mean = data.iter().map(|r| r[j]).sum::<f64>() / n as f64;
+                let var = data.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n as f64;
+                var.max(VAR_FLOOR)
+            })
+            .collect();
+        // Init: farthest-point means in variance-normalized coordinates.
+        // A random init can put every mean in one cluster and leave EM at a
+        // merged local optimum; spreading means apart avoids that.
+        let norm_dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .zip(&global_var)
+                .map(|((x, y), v)| (x - y) * (x - y) / v)
+                .sum()
+        };
+        let mut means: Vec<Vec<f64>> = vec![data[rng.gen_range(0..n)].clone()];
+        while means.len() < k {
+            let far = data
+                .iter()
+                .max_by(|a, b| {
+                    let da: f64 = means.iter().map(|m| norm_dist(a, m)).fold(f64::INFINITY, f64::min);
+                    let db: f64 = means.iter().map(|m| norm_dist(b, m)).fold(f64::INFINITY, f64::min);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("data non-empty");
+            means.push(far.clone());
+        }
+        let mut variances: Vec<Vec<f64>> = vec![global_var.clone(); k];
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![vec![0.0; k]; n];
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _iter in 0..100 {
+            // E-step: responsibilities via log-sum-exp.
+            let mut ll = 0.0;
+            for (i, row) in data.iter().enumerate() {
+                let logp: Vec<f64> = (0..k)
+                    .map(|c| weights[c].max(1e-300).ln() + log_diag_gauss(row, &means[c], &variances[c]))
+                    .collect();
+                let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let denom: f64 = logp.iter().map(|&lp| (lp - max).exp()).sum();
+                ll += max + denom.ln();
+                for c in 0..k {
+                    resp[i][c] = (logp[c] - max).exp() / denom;
+                }
+            }
+            // M-step.
+            for c in 0..k {
+                let nc: f64 = resp.iter().map(|r| r[c]).sum();
+                if nc < 1e-9 {
+                    // Dead component: reinitialize on a random point.
+                    means[c] = data[rng.gen_range(0..n)].clone();
+                    variances[c] = global_var.clone();
+                    weights[c] = 1.0 / n as f64;
+                    continue;
+                }
+                weights[c] = nc / n as f64;
+                for j in 0..joint_dim {
+                    let m = data.iter().zip(&resp).map(|(r, rs)| rs[c] * r[j]).sum::<f64>() / nc;
+                    means[c][j] = m;
+                }
+                for j in 0..joint_dim {
+                    let v = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(r, rs)| rs[c] * (r[j] - means[c][j]).powi(2))
+                        .sum::<f64>()
+                        / nc;
+                    variances[c][j] = v.max(VAR_FLOOR);
+                }
+            }
+            // Renormalize weights (dead-component resets can unbalance them).
+            let wsum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= wsum;
+            }
+            if (ll - prev_ll).abs() < 1e-6 * (1.0 + ll.abs()) {
+                break;
+            }
+            prev_ll = ll;
+        }
+
+        Ok(Self {
+            weights,
+            means,
+            variances,
+            num_features: d,
+        })
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Log-density of a diagonal Gaussian at `x` (over the first
+/// `mean.len().min(x.len())` coordinates — used for both joint and
+/// feature-marginal evaluation).
+fn log_diag_gauss(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let dim = x.len().min(mean.len());
+    let mut lp = 0.0;
+    for j in 0..dim {
+        let d = x[j] - mean[j];
+        lp += -0.5 * ((2.0 * std::f64::consts::PI * var[j]).ln() + d * d / var[j]);
+    }
+    lp
+}
+
+impl Regressor for GaussianMixture {
+    fn predict(&self, x: &[f64]) -> f64 {
+        // Responsibilities from the feature marginal (first d coords).
+        let logp: Vec<f64> = (0..self.weights.len())
+            .map(|c| {
+                self.weights[c].max(1e-300).ln()
+                    + log_diag_gauss(x, &self.means[c][..self.num_features], &self.variances[c][..self.num_features])
+            })
+            .collect();
+        let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            // All components infinitely unlikely: fall back to the global mean.
+            let total: f64 = self.weights.iter().sum();
+            return self
+                .weights
+                .iter()
+                .zip(&self.means)
+                .map(|(w, m)| w * m[self.num_features])
+                .sum::<f64>()
+                / total;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (c, &lp) in logp.iter().enumerate() {
+            let r = (lp - max).exp();
+            num += r * self.means[c][self.num_features];
+            den += r;
+        }
+        num / den
+    }
+
+    fn num_features(&self) -> usize {
+        self.num_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component_predicts_conditional_mean() {
+        // Single cluster: prediction ≈ mean of y everywhere.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 5) as f64]).collect();
+        let ys: Vec<f64> = vec![10.0; 40];
+        let gmm = GaussianMixture::fit(&xs, &ys, 1, 0).unwrap();
+        assert!((gmm.predict(&[2.0]) - 10.0).abs() < 1e-6);
+        assert_eq!(gmm.num_components(), 1);
+    }
+
+    #[test]
+    fn two_clusters_are_separated() {
+        // Cluster A: x≈0 → y≈0. Cluster B: x≈10 → y≈100.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..50 {
+            xs.push(vec![0.0 + 0.01 * (i % 5) as f64]);
+            ys.push(0.0 + 0.01 * (i % 3) as f64);
+            xs.push(vec![10.0 + 0.01 * (i % 5) as f64]);
+            ys.push(100.0 + 0.01 * (i % 3) as f64);
+        }
+        let gmm = GaussianMixture::fit(&xs, &ys, 2, 1).unwrap();
+        assert!(gmm.predict(&[0.0]) < 20.0, "got {}", gmm.predict(&[0.0]));
+        assert!(gmm.predict(&[10.0]) > 80.0, "got {}", gmm.predict(&[10.0]));
+    }
+
+    #[test]
+    fn k_capped_by_sample_count() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0, 2.0];
+        let gmm = GaussianMixture::fit(&xs, &ys, 10, 0).unwrap();
+        assert!(gmm.num_components() <= 2);
+    }
+
+    #[test]
+    fn far_query_falls_back_gracefully() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let gmm = GaussianMixture::fit(&xs, &ys, 2, 3).unwrap();
+        let pred = gmm.predict(&[1e9]);
+        assert!(pred.is_finite());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] + r[1]).collect();
+        let a = GaussianMixture::fit(&xs, &ys, 3, 42).unwrap();
+        let b = GaussianMixture::fit(&xs, &ys, 3, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(GaussianMixture::fit(&[], &[], 2, 0).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Learning substrate for the Murphy reproduction.
+//!
+//! Murphy's factors `P_v(v | in_nbrs(v))` relate an entity's metrics in a
+//! time slice to the metrics of its incoming neighbors in the same slice
+//! (§4.2). The paper evaluates four candidate model families for this
+//! sub-task on a production data set (§6.6.1, Figure 8a) — ridge linear
+//! regression, Gaussian mixture models, SVMs, and small neural networks —
+//! and finds ridge regression best. All four are implemented here, from
+//! scratch:
+//!
+//! * [`linalg`] — small dense matrices, Cholesky factorization and solves,
+//! * [`ridge`] — ridge regression (Murphy's production choice),
+//! * [`gmm`] — diagonal-covariance Gaussian mixture fitted by EM with
+//!   conditional-expectation prediction,
+//! * [`svr`] — linear ε-insensitive support vector regression via SGD,
+//! * [`mlp`] — a small multilayer perceptron (≤3 layers, 5 neurons each,
+//!   matching the paper's footnote 10) trained by backprop,
+//! * [`features`] — top-B neighbor-metric selection by absolute Pearson
+//!   correlation (B = 10, the "one in ten rule" of §4.2),
+//! * [`model`] — the [`model::Regressor`] abstraction, [`model::ModelKind`]
+//!   factory, and the [`model::TrainedModel`] (regressor + residual noise)
+//!   the MRF samples from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod gmm;
+pub mod linalg;
+pub mod mlp;
+pub mod model;
+pub mod ridge;
+pub mod svr;
+
+pub use features::select_top_features;
+pub use gmm::GaussianMixture;
+pub use linalg::Matrix;
+pub use mlp::Mlp;
+pub use model::{FitError, ModelKind, Regressor, TrainedModel};
+pub use ridge::Ridge;
+pub use svr::LinearSvr;

@@ -1,0 +1,280 @@
+//! Small dense linear algebra.
+//!
+//! Just enough for the learning substrate: row-major matrices, products,
+//! and a Cholesky factorization for the symmetric positive-definite
+//! normal-equation systems of ridge regression. Matrices here are tiny
+//! (feature counts are capped at B = 10 by feature selection), so clarity
+//! beats blocking/SIMD tricks.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from row slices; all rows must share a length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `selfᵀ · self` — the Gram matrix (cols × cols).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                g.set(i, j, s);
+                g.set(j, i, s);
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ · y` for a vector `y` of length `rows`.
+    pub fn t_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let yr = y[r];
+            for c in 0..self.cols {
+                out[c] += self.get(r, c) * yr;
+            }
+        }
+        out
+    }
+
+    /// `self · x` for a vector `x` of length `cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| dot(self.row(r), x))
+            .collect()
+    }
+
+    /// Add `lambda` to every diagonal element in place (ridge shift).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            let v = self.get(i, i);
+            self.set(i, i, v + lambda);
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L` with `A = L·Lᵀ`, or `None` if
+/// `A` is not (numerically) positive definite.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    if a.cols() != n {
+        return None;
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `A·x = b` for SPD `A` via Cholesky (forward + backward
+/// substitution). Returns `None` when `A` is not positive definite.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    if b.len() != n {
+        return None;
+    }
+    // Forward solve L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l.get(i, k) * y[k];
+        }
+        y[i] = s / l.get(i, i);
+    }
+    // Backward solve Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l.get(k, i) * x[k];
+        }
+        x[i] = s / l.get(i, i);
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gram_matrix() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let g = m.gram();
+        // [[1,3],[2,4]]·[[1,2],[3,4]] = [[10,14],[14,20]]
+        assert_eq!(g.get(0, 0), 10.0);
+        assert_eq!(g.get(0, 1), 14.0);
+        assert_eq!(g.get(1, 0), 14.0);
+        assert_eq!(g.get(1, 1), 20.0);
+    }
+
+    #[test]
+    fn transpose_vec_product() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = m.t_mul_vec(&[1.0, 1.0]);
+        assert_eq!(v, vec![4.0, 6.0]);
+        let w = m.mul_vec(&[1.0, 1.0]);
+        assert_eq!(w, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4,2],[2,3]] = L·Lᵀ with L = [[2,0],[1,√2]].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_pd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert!(cholesky(&a).is_none());
+        let z = Matrix::zeros(2, 2);
+        assert!(cholesky(&z).is_none());
+        let rect = Matrix::zeros(2, 3);
+        assert!(cholesky(&rect).is_none());
+    }
+
+    #[test]
+    fn solve_spd_round_trip() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert_vec_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn solve_rejects_bad_dims() {
+        let a = Matrix::identity(3);
+        assert!(solve_spd(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn add_diagonal_shifts() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_diagonal(0.5);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(1, 1), 0.5);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,261 @@
+//! The prediction-model abstraction.
+//!
+//! A [`Regressor`] predicts one target metric value from a feature vector
+//! of neighbor-metric values in the same time slice. A [`TrainedModel`]
+//! bundles a regressor with the residual standard deviation estimated on
+//! the training data — which is what makes the factor a *distribution*
+//! `P_v(v | in_nbrs(v))` the Gibbs sampler can draw from, not just a point
+//! predictor.
+
+use crate::gmm::GaussianMixture;
+use crate::mlp::Mlp;
+use crate::ridge::Ridge;
+use crate::svr::LinearSvr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error fitting a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No training rows were provided.
+    EmptyTrainingSet,
+    /// Rows have inconsistent or zero feature dimension mismatching `y`.
+    DimensionMismatch,
+    /// The underlying numeric routine failed to converge / factorize.
+    Numeric(&'static str),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "empty training set"),
+            FitError::DimensionMismatch => write!(f, "feature/target dimension mismatch"),
+            FitError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted regression model: features → predicted target.
+pub trait Regressor: Send + Sync {
+    /// Predict the target for one feature vector.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Number of features the model expects.
+    fn num_features(&self) -> usize;
+}
+
+/// Which model family to use for the factors (§6.6.1 candidates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Ridge linear regression — the paper's production choice.
+    Ridge,
+    /// Diagonal-covariance Gaussian mixture (EM).
+    Gmm,
+    /// Linear ε-insensitive SVR (SGD).
+    Svr,
+    /// Small neural network (≤3 layers, 5 neurons each).
+    Mlp,
+}
+
+impl ModelKind {
+    /// All candidates, in the Figure 8a legend order.
+    pub const ALL: [ModelKind; 4] = [ModelKind::Ridge, ModelKind::Gmm, ModelKind::Svr, ModelKind::Mlp];
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Ridge => "linear regression",
+            ModelKind::Gmm => "GMM",
+            ModelKind::Svr => "SVM",
+            ModelKind::Mlp => "neural network",
+        }
+    }
+
+    /// Fit a model of this kind. `xs` are training rows (one feature vector
+    /// per time slice), `ys` the per-slice targets.
+    pub fn fit(self, xs: &[Vec<f64>], ys: &[f64], seed: u64) -> Result<Box<dyn Regressor>, FitError> {
+        validate(xs, ys)?;
+        match self {
+            ModelKind::Ridge => Ok(Box::new(Ridge::fit(xs, ys, Ridge::DEFAULT_LAMBDA)?)),
+            ModelKind::Gmm => Ok(Box::new(GaussianMixture::fit(xs, ys, 3, seed)?)),
+            ModelKind::Svr => Ok(Box::new(LinearSvr::fit(xs, ys, &Default::default())?)),
+            ModelKind::Mlp => Ok(Box::new(Mlp::fit(xs, ys, &Default::default(), seed)?)),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+pub(crate) fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), FitError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(FitError::EmptyTrainingSet);
+    }
+    if xs.len() != ys.len() {
+        return Err(FitError::DimensionMismatch);
+    }
+    let d = xs[0].len();
+    if xs.iter().any(|r| r.len() != d) {
+        return Err(FitError::DimensionMismatch);
+    }
+    Ok(())
+}
+
+/// A fitted factor: regressor + residual noise scale.
+///
+/// `residual_std` is the standard deviation of the training residuals; the
+/// Gibbs sampler adds `N(0, residual_std²)` noise when resampling a metric
+/// so that the factor behaves as a conditional distribution.
+pub struct TrainedModel {
+    regressor: Box<dyn Regressor>,
+    /// Residual standard deviation on the training data.
+    pub residual_std: f64,
+    /// Training mean absolute error (for model-selection studies).
+    pub train_mae: f64,
+}
+
+impl TrainedModel {
+    /// Fit a model of `kind` and estimate its residual scale.
+    pub fn fit(kind: ModelKind, xs: &[Vec<f64>], ys: &[f64], seed: u64) -> Result<Self, FitError> {
+        let regressor = kind.fit(xs, ys, seed)?;
+        let mut sq = 0.0;
+        let mut abs = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            let e = regressor.predict(x) - y;
+            sq += e * e;
+            abs += e.abs();
+        }
+        let n = xs.len() as f64;
+        Ok(Self {
+            regressor,
+            residual_std: (sq / n).sqrt(),
+            train_mae: abs / n,
+        })
+    }
+
+    /// Point prediction.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.regressor.predict(x)
+    }
+
+    /// Draw one sample from `N(predict(x), residual_std²)`.
+    pub fn sample<R: Rng>(&self, x: &[f64], rng: &mut R) -> f64 {
+        self.predict(x) + gaussian(rng) * self.residual_std
+    }
+
+    /// Feature count.
+    pub fn num_features(&self) -> usize {
+        self.regressor.num_features()
+    }
+}
+
+impl fmt::Debug for TrainedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrainedModel")
+            .field("num_features", &self.num_features())
+            .field("residual_std", &self.residual_std)
+            .field("train_mae", &self.train_mae)
+            .finish()
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64 * 0.1, (i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 1.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn every_kind_fits_linear_data() {
+        let (xs, ys) = linear_data();
+        for kind in ModelKind::ALL {
+            let model = TrainedModel::fit(kind, &xs, &ys, 7).unwrap();
+            assert_eq!(model.num_features(), 2);
+            assert!(
+                model.train_mae.is_finite(),
+                "{kind}: non-finite training error"
+            );
+        }
+    }
+
+    #[test]
+    fn ridge_nails_linear_data() {
+        let (xs, ys) = linear_data();
+        let model = TrainedModel::fit(ModelKind::Ridge, &xs, &ys, 0).unwrap();
+        // DEFAULT_LAMBDA shrinks slightly; the fit is near-exact, not exact.
+        assert!(model.train_mae < 0.2, "mae = {}", model.train_mae);
+        assert!(model.residual_std < 0.3);
+        let pred = model.predict(&[1.0, 2.0]);
+        assert!((pred - (2.0 - 1.0 + 1.0)).abs() < 0.2, "pred = {pred}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(validate(&[], &[]), Err(FitError::EmptyTrainingSet));
+        assert_eq!(
+            validate(&[vec![1.0]], &[1.0, 2.0]),
+            Err(FitError::DimensionMismatch)
+        );
+        assert_eq!(
+            validate(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(FitError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn sampling_centers_on_prediction() {
+        let (xs, ys) = linear_data();
+        let model = TrainedModel::fit(ModelKind::Ridge, &xs, &ys, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = [2.0, 3.0];
+        let mean_pred = model.predict(&x);
+        let n = 2000;
+        let avg: f64 = (0..n).map(|_| model.sample(&x, &mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (avg - mean_pred).abs() < 0.1 + 3.0 * model.residual_std,
+            "avg {avg} vs pred {mean_pred}"
+        );
+    }
+
+    #[test]
+    fn gaussian_has_unit_scale() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn labels_match_figure_8a_legend() {
+        let labels: Vec<&str> = ModelKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["linear regression", "GMM", "SVM", "neural network"]);
+    }
+}

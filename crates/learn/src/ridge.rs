@@ -1,0 +1,183 @@
+//! Ridge regression.
+//!
+//! Murphy's production deployment uses ridge regression ("a form of robust
+//! linear regression") for its factors, chosen after the model-selection
+//! study of §6.6.1. We fit by solving the regularized normal equations
+//! `(XᵀX + λI)·w = Xᵀy` with Cholesky, over standardized features and a
+//! centered target — standardization makes one λ meaningful across metrics
+//! with wildly different scales (CPU %, MB, sessions).
+
+use crate::linalg::{dot, solve_spd, Matrix};
+use crate::model::{validate, FitError, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// A fitted ridge regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ridge {
+    /// Per-feature means used for standardization.
+    feature_means: Vec<f64>,
+    /// Per-feature standard deviations (floored).
+    feature_stds: Vec<f64>,
+    /// Weights in standardized space.
+    weights: Vec<f64>,
+    /// Target mean (intercept in standardized space).
+    intercept: f64,
+}
+
+impl Ridge {
+    /// Default regularization strength.
+    pub const DEFAULT_LAMBDA: f64 = 1.0;
+
+    /// Fit on rows `xs` and targets `ys` with regularization `lambda`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Self, FitError> {
+        validate(xs, ys)?;
+        let n = xs.len();
+        let d = xs[0].len();
+
+        // Standardize features; center target.
+        let mut feature_means = vec![0.0; d];
+        for row in xs {
+            for (m, &v) in feature_means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut feature_means {
+            *m /= n as f64;
+        }
+        let mut feature_stds = vec![0.0; d];
+        for row in xs {
+            for j in 0..d {
+                let dlt = row[j] - feature_means[j];
+                feature_stds[j] += dlt * dlt;
+            }
+        }
+        for s in &mut feature_stds {
+            *s = (*s / n as f64).sqrt();
+            if *s < 1e-9 {
+                *s = 1.0; // constant feature: zero after centering
+            }
+        }
+        let intercept = ys.iter().sum::<f64>() / n as f64;
+
+        let std_rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - feature_means[j]) / feature_stds[j])
+                    .collect()
+            })
+            .collect();
+        let x = Matrix::from_rows(&std_rows);
+        let yc: Vec<f64> = ys.iter().map(|&y| y - intercept).collect();
+
+        let mut gram = x.gram();
+        gram.add_diagonal(lambda.max(1e-12));
+        let xty = x.t_mul_vec(&yc);
+        let weights = solve_spd(&gram, &xty)
+            .ok_or(FitError::Numeric("ridge normal equations not positive definite"))?;
+
+        Ok(Self {
+            feature_means,
+            feature_stds,
+            weights,
+            intercept,
+        })
+    }
+
+    /// Weights in standardized feature space (for inspection/tests).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Intercept (the target mean).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for Ridge {
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.weights.len());
+        let std: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.feature_means[j]) / self.feature_stds[j])
+            .collect();
+        self.intercept + dot(&std, &self.weights)
+    }
+
+    fn num_features(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_relationship() {
+        // y = 3x1 - 2x2 + 5 with no noise; small lambda ≈ OLS.
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let model = Ridge::fit(&xs, &ys, 1e-9).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert!((model.predict(x) - y).abs() < 1e-4);
+        }
+        // Extrapolation stays linear.
+        assert!((model.predict(&[100.0, 0.0]) - 305.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0]).collect();
+        let loose = Ridge::fit(&xs, &ys, 1e-6).unwrap();
+        let tight = Ridge::fit(&xs, &ys, 1000.0).unwrap();
+        assert!(tight.weights()[0].abs() < loose.weights()[0].abs());
+        // Heavy shrinkage regresses towards the mean prediction.
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((tight.predict(&[0.0]) - mean_y).abs() < (loose.predict(&[0.0]) - mean_y).abs());
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 1.5 + 2.0).collect();
+        let model = Ridge::fit(&xs, &ys, 1e-6).unwrap();
+        assert!((model.predict(&[10.0, 7.0]) - 17.0).abs() < 1e-6);
+        // The constant column carries ~zero weight.
+        assert!(model.weights()[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_feature_dimension_predicts_mean() {
+        let xs: Vec<Vec<f64>> = vec![vec![]; 10];
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let model = Ridge::fit(&xs, &ys, 1.0).unwrap();
+        assert!((model.predict(&[]) - 4.5).abs() < 1e-12);
+        assert_eq!(model.num_features(), 0);
+    }
+
+    #[test]
+    fn errors_on_empty_input() {
+        assert!(Ridge::fit(&[], &[], 1.0).is_err());
+    }
+
+    #[test]
+    fn robust_to_feature_scale() {
+        // Same relationship, one feature in units 1e6 times larger: with
+        // standardization both fits should predict equally well.
+        let xs_small: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let xs_big: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 1e6]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let small = Ridge::fit(&xs_small, &ys, 1.0).unwrap();
+        let big = Ridge::fit(&xs_big, &ys, 1.0).unwrap();
+        let e_small = (small.predict(&[20.0]) - 41.0).abs();
+        let e_big = (big.predict(&[20.0e6]) - 41.0).abs();
+        assert!((e_small - e_big).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,215 @@
+//! Linear ε-insensitive support vector regression.
+//!
+//! One of the four candidate factor families of §6.6.1 ("SVM" in Figure
+//! 8a). We train a linear SVR in the primal with stochastic subgradient
+//! descent on the regularized ε-insensitive loss — simple and deterministic
+//! (fixed sample order with a decaying step), which is all the reproduction
+//! needs: the study's point is comparing model *families*, not maximizing
+//! each family's tuning.
+
+use crate::linalg::dot;
+use crate::model::{validate, FitError, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters for [`LinearSvr`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvrParams {
+    /// Width of the no-penalty tube around the target (in standardized
+    /// target units).
+    pub epsilon: f64,
+    /// Regularization strength (weight-decay coefficient).
+    pub lambda: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Initial learning rate (decays as 1/(1 + t·decay)).
+    pub learning_rate: f64,
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.05,
+            lambda: 1e-4,
+            epochs: 60,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+/// A fitted linear SVR.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvr {
+    feature_means: Vec<f64>,
+    feature_stds: Vec<f64>,
+    target_mean: f64,
+    target_std: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvr {
+    /// Fit with the given hyperparameters.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &SvrParams) -> Result<Self, FitError> {
+        validate(xs, ys)?;
+        let n = xs.len();
+        let d = xs[0].len();
+
+        // Standardize both sides.
+        let (feature_means, feature_stds) = standardize_stats(xs, d);
+        let target_mean = ys.iter().sum::<f64>() / n as f64;
+        let target_std = {
+            let v = ys.iter().map(|&y| (y - target_mean).powi(2)).sum::<f64>() / n as f64;
+            let s = v.sqrt();
+            if s < 1e-9 {
+                1.0
+            } else {
+                s
+            }
+        };
+        let std_x: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - feature_means[j]) / feature_stds[j])
+                    .collect()
+            })
+            .collect();
+        let std_y: Vec<f64> = ys.iter().map(|&y| (y - target_mean) / target_std).collect();
+
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let mut t = 0usize;
+        for _epoch in 0..params.epochs {
+            for (x, &y) in std_x.iter().zip(&std_y) {
+                t += 1;
+                let lr = params.learning_rate / (1.0 + 0.001 * t as f64);
+                let pred = dot(&weights, x) + bias;
+                let err = pred - y;
+                // Subgradient of the ε-insensitive loss.
+                let g = if err > params.epsilon {
+                    1.0
+                } else if err < -params.epsilon {
+                    -1.0
+                } else {
+                    0.0
+                };
+                for (w, &xi) in weights.iter_mut().zip(x) {
+                    *w -= lr * (g * xi + params.lambda * *w);
+                }
+                bias -= lr * g;
+            }
+        }
+
+        Ok(Self {
+            feature_means,
+            feature_stds,
+            target_mean,
+            target_std,
+            weights,
+            bias,
+        })
+    }
+}
+
+pub(crate) fn standardize_stats(xs: &[Vec<f64>], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = xs.len();
+    let mut means = vec![0.0; d];
+    for row in xs {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let mut stds = vec![0.0; d];
+    for row in xs {
+        for j in 0..d {
+            let dlt = row[j] - means[j];
+            stds[j] += dlt * dlt;
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n as f64).sqrt();
+        if *s < 1e-9 {
+            *s = 1.0;
+        }
+    }
+    (means, stds)
+}
+
+impl Regressor for LinearSvr {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let std: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.feature_means[j]) / self.feature_stds[j])
+            .collect();
+        (dot(&self.weights, &std) + self.bias) * self.target_std + self.target_mean
+    }
+
+    fn num_features(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_data_approximately() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 * 0.1]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 4.0 * r[0] - 1.0).collect();
+        let svr = LinearSvr::fit(&xs, &ys, &SvrParams::default()).unwrap();
+        // Mid-range predictions within ~15% of the target scale.
+        let scale = 40.0;
+        for &x in &[1.0, 5.0, 9.0] {
+            let pred = svr.predict(&[x]);
+            let truth = 4.0 * x - 1.0;
+            assert!(
+                (pred - truth).abs() < 0.15 * scale,
+                "x={x}: pred {pred} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 20];
+        let svr = LinearSvr::fit(&xs, &ys, &SvrParams::default()).unwrap();
+        assert!((svr.predict(&[10.0]) - 7.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn epsilon_tube_ignores_small_noise() {
+        // With a wide tube the fit should not chase small wiggles.
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..50)
+            .map(|i| 2.0 * i as f64 + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let params = SvrParams {
+            epsilon: 0.5,
+            ..Default::default()
+        };
+        let svr = LinearSvr::fit(&xs, &ys, &params).unwrap();
+        let pred_mid = svr.predict(&[25.0]);
+        assert!((pred_mid - 50.0).abs() < 5.0, "pred {pred_mid}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 6) as f64, (i % 4) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] - r[1]).collect();
+        let a = LinearSvr::fit(&xs, &ys, &SvrParams::default()).unwrap();
+        let b = LinearSvr::fit(&xs, &ys, &SvrParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(LinearSvr::fit(&[], &[], &SvrParams::default()).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the learning substrate.
+
+use murphy_learn::{
+    select_top_features, GaussianMixture, Matrix, ModelKind, Regressor, Ridge, TrainedModel,
+};
+use proptest::prelude::*;
+
+fn training_set() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    // y = w·x + b + noise with random w, b over random inputs.
+    (
+        2usize..4,
+        12usize..40,
+        proptest::collection::vec(-3.0f64..3.0, 4),
+        -10.0f64..10.0,
+    )
+        .prop_flat_map(|(d, n, w, b)| {
+            proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, d..=d),
+                n..=n,
+            )
+            .prop_map(move |xs| {
+                let ys: Vec<f64> = xs
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .zip(&w)
+                            .map(|(x, wi)| x * wi)
+                            .sum::<f64>()
+                            + b
+                    })
+                    .collect();
+                (xs, ys)
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ridge_training_error_is_finite_and_small_on_linear_data((xs, ys) in training_set()) {
+        let model = TrainedModel::fit(ModelKind::Ridge, &xs, &ys, 1).unwrap();
+        prop_assert!(model.train_mae.is_finite());
+        // Ridge with λ=1 on standardized exact-linear data is near-exact.
+        let scale = ys.iter().map(|y| y.abs()).fold(1.0, f64::max);
+        prop_assert!(model.train_mae <= 0.15 * scale, "mae {} scale {}", model.train_mae, scale);
+    }
+
+    #[test]
+    fn ridge_prediction_is_translation_equivariant((xs, ys) in training_set(), shift in -100.0f64..100.0) {
+        // Shifting every target shifts every prediction by the same amount.
+        let m1 = Ridge::fit(&xs, &ys, 1.0).unwrap();
+        let shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+        let m2 = Ridge::fit(&xs, &shifted, 1.0).unwrap();
+        let x = &xs[0];
+        let d = m2.predict(x) - m1.predict(x);
+        prop_assert!((d - shift).abs() < 1e-6 * (1.0 + shift.abs()), "delta {d} vs shift {shift}");
+    }
+
+    #[test]
+    fn every_model_family_is_total((xs, ys) in training_set()) {
+        for kind in ModelKind::ALL {
+            let model = TrainedModel::fit(kind, &xs, &ys, 3).unwrap();
+            let pred = model.predict(&xs[0]);
+            prop_assert!(pred.is_finite(), "{kind}: non-finite prediction");
+            prop_assert!(model.residual_std.is_finite() && model.residual_std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gmm_prediction_within_target_hull((xs, ys) in training_set()) {
+        let gmm = GaussianMixture::fit(&xs, &ys, 2, 5).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let margin = (hi - lo).abs() * 0.5 + 1.0;
+        for x in xs.iter().take(5) {
+            let p = gmm.predict(x);
+            prop_assert!(p >= lo - margin && p <= hi + margin,
+                "GMM prediction {p} far outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn feature_selection_returns_valid_unique_sorted(
+        cols in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 16), 0..12),
+        b in 0usize..15,
+    ) {
+        let target: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let sel = select_top_features(&cols, &target, b);
+        prop_assert!(sel.len() <= b.min(cols.len()));
+        for &i in &sel { prop_assert!(i < cols.len()); }
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted, sel);
+    }
+
+    #[test]
+    fn spd_solve_round_trips(diag in proptest::collection::vec(0.5f64..10.0, 2..6),
+                             x_true in proptest::collection::vec(-10.0f64..10.0, 6)) {
+        // Diagonally dominant symmetric matrices are SPD.
+        let n = diag.len();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    a.set(i, j, diag[i] + n as f64);
+                } else {
+                    a.set(i, j, 1.0);
+                }
+            }
+        }
+        let x: Vec<f64> = x_true[..n].to_vec();
+        let b = a.mul_vec(&x);
+        let solved = murphy_learn::linalg::solve_spd(&a, &b).unwrap();
+        for (u, v) in solved.iter().zip(&x) {
+            prop_assert!((u - v).abs() < 1e-8 * (1.0 + v.abs()));
+        }
+    }
+}

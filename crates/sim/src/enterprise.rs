@@ -1,0 +1,387 @@
+//! Enterprise topology and metric generation.
+//!
+//! A synthetic stand-in for the paper's production environment (§2.1,
+//! §5.1.1): hundreds of applications, each with web/app/db VM tiers,
+//! inter-tier flows, VMs spread over shared hosts (the shared-resource
+//! couplings that create cycles, §2.2), vNICs, hosts with pNICs, and
+//! ToR switches with ports. At the paper's scale — 300 apps — this
+//! produces ≈17K entities; every knob scales down for tests.
+//!
+//! Metric synthesis: each application carries a latent diurnal+noise load
+//! signal; VM metrics follow the load through tier weights; host metrics
+//! aggregate their resident VMs (so co-located apps couple); flow metrics
+//! follow the app load; switch metrics aggregate their ports.
+
+use murphy_learn::model::gaussian;
+use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnterpriseConfig {
+    /// Number of applications.
+    pub num_apps: usize,
+    /// VMs per application (split over 3 tiers).
+    pub vms_per_app: usize,
+    /// Shared physical hosts.
+    pub num_hosts: usize,
+    /// Top-of-rack switches (each host attaches to one).
+    pub num_switches: usize,
+    /// Trace length in ticks.
+    pub ticks: u64,
+    /// Interval seconds per tick (the enterprise data set aggregates to
+    /// minutes; 300 s here).
+    pub interval_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EnterpriseConfig {
+    /// A small configuration for tests (≈ a few hundred entities).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            num_apps: 6,
+            vms_per_app: 6,
+            num_hosts: 8,
+            num_switches: 2,
+            ticks: 240,
+            interval_secs: 300,
+            seed,
+        }
+    }
+
+    /// The paper's scale: ≈300 apps, ≈17K entities. Expensive — used by
+    /// the Figure 8a reproduction at full fidelity.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            num_apps: 300,
+            vms_per_app: 21,
+            num_hosts: 140,
+            num_switches: 12,
+            ticks: 300,
+            interval_secs: 300,
+            seed,
+        }
+    }
+
+    /// Rough entity-count estimate for this configuration.
+    pub fn estimated_entities(&self) -> usize {
+        // Per app: VMs + vNICs + two inter-tier flows per tier slot.
+        let per_tier = (self.vms_per_app / 3).max(1);
+        let per_app = per_tier * 3 * 2 + per_tier * 2;
+        // Per host: host + pNIC + switch port; plus the switches.
+        self.num_apps * per_app + self.num_hosts * 3 + self.num_switches
+    }
+}
+
+/// One generated application's handles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppHandles {
+    /// Application name (`"app42"`).
+    pub name: String,
+    /// Web-tier VMs.
+    pub web: Vec<EntityId>,
+    /// App-tier VMs.
+    pub app: Vec<EntityId>,
+    /// DB-tier VMs.
+    pub db: Vec<EntityId>,
+    /// Inter-tier flows (web→app then app→db).
+    pub flows: Vec<EntityId>,
+}
+
+impl AppHandles {
+    /// All VM entities of the app.
+    pub fn vms(&self) -> Vec<EntityId> {
+        self.web
+            .iter()
+            .chain(&self.app)
+            .chain(&self.db)
+            .copied()
+            .collect()
+    }
+}
+
+/// A generated enterprise: database plus handles.
+#[derive(Debug, Clone)]
+pub struct Enterprise {
+    /// The populated monitoring database.
+    pub db: MonitoringDb,
+    /// Per-application handles.
+    pub apps: Vec<AppHandles>,
+    /// Host entities.
+    pub hosts: Vec<EntityId>,
+    /// Switch entities.
+    pub switches: Vec<EntityId>,
+}
+
+/// Generate an enterprise per `config`.
+pub fn generate(config: &EnterpriseConfig) -> Enterprise {
+    let mut db = MonitoringDb::new(config.interval_secs);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- infrastructure ---------------------------------------------------
+    let switches: Vec<EntityId> = (0..config.num_switches)
+        .map(|i| db.add_entity(EntityKind::Switch, format!("tor{i}")))
+        .collect();
+    let mut hosts = Vec::with_capacity(config.num_hosts);
+    let mut host_ports = Vec::with_capacity(config.num_hosts);
+    for i in 0..config.num_hosts {
+        let host = db.add_entity(EntityKind::Host, format!("host{i}"));
+        let pnic = db.add_entity(EntityKind::PhysicalNic, format!("host{i}-pnic"));
+        let port = db.add_entity(EntityKind::SwitchInterface, format!("tor{}-p{}", i % config.num_switches, i));
+        db.relate(host, pnic, AssociationKind::HasNic);
+        db.relate(pnic, port, AssociationKind::AttachedToPort);
+        db.relate(port, switches[i % config.num_switches], AssociationKind::PortOnSwitch);
+        hosts.push(host);
+        host_ports.push(port);
+    }
+
+    // --- applications ------------------------------------------------------
+    let mut apps = Vec::with_capacity(config.num_apps);
+    // host index each VM resides on, per app per VM (for metric coupling).
+    let mut vm_host: Vec<(EntityId, usize)> = Vec::new();
+    for a in 0..config.num_apps {
+        let name = format!("app{a}");
+        let per_tier = (config.vms_per_app / 3).max(1);
+        let mut tiers: [Vec<EntityId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (ti, tier_name) in ["web", "app", "db"].iter().enumerate() {
+            for v in 0..per_tier {
+                let vm = db.add_entity(EntityKind::Vm, format!("{name}-{tier_name}{v}"));
+                let vnic = db.add_entity(EntityKind::VirtualNic, format!("{name}-{tier_name}{v}-vnic"));
+                let h = rng.gen_range(0..config.num_hosts);
+                db.relate(vm, vnic, AssociationKind::HasNic);
+                db.relate(vm, hosts[h], AssociationKind::RunsOn);
+                db.tag_application(name.clone(), vm);
+                vm_host.push((vm, h));
+                tiers[ti].push(vm);
+            }
+        }
+        // Inter-tier flows: web[i] → app[i], app[i] → db[i].
+        let mut flows = Vec::new();
+        for i in 0..per_tier {
+            for (src, dst) in [(&tiers[0], &tiers[1]), (&tiers[1], &tiers[2])] {
+                let flow = db.add_entity(
+                    EntityKind::Flow,
+                    format!("{name}-flow-{}-{}", db.entity(src[i]).unwrap().name, db.entity(dst[i]).unwrap().name),
+                );
+                db.relate(flow, src[i], AssociationKind::FlowSource);
+                db.relate(flow, dst[i], AssociationKind::FlowDestination);
+                // Communicating VMs are directly related too (application
+                // discovery infers this from flow patterns) — this is what
+                // makes length-3 cycles the norm, §2.2.
+                db.relate(src[i], dst[i], AssociationKind::Related);
+                db.tag_application(name.clone(), flow);
+                flows.push(flow);
+            }
+        }
+        apps.push(AppHandles {
+            name,
+            web: tiers[0].clone(),
+            app: tiers[1].clone(),
+            db: tiers[2].clone(),
+            flows,
+        });
+    }
+
+    // --- metric synthesis ---------------------------------------------------
+    // Latent per-app load: diurnal sinusoid with per-app phase + AR noise.
+    let mut app_phase: Vec<f64> = (0..config.num_apps).map(|_| rng.gen_range(0.0..6.28)).collect();
+    let app_scale: Vec<f64> = (0..config.num_apps).map(|_| rng.gen_range(0.5..1.8)).collect();
+    if app_phase.is_empty() {
+        app_phase.push(0.0);
+    }
+    let day_ticks = (86_400 / config.interval_secs.max(1)) as f64;
+
+    for t in 0..config.ticks {
+        let mut host_cpu = vec![0.0f64; config.num_hosts];
+        let mut host_net = vec![0.0f64; config.num_hosts];
+        let mut host_vm_count = vec![0usize; config.num_hosts];
+
+        for (a, app) in apps.iter().enumerate() {
+            let diurnal = ((t as f64) * 2.0 * std::f64::consts::PI / day_ticks + app_phase[a]).sin();
+            let load = (40.0 + 25.0 * diurnal) * app_scale[a] + gaussian(&mut rng) * 4.0;
+            let load = load.max(1.0);
+
+            let tier_weight = |tier: usize| match tier {
+                0 => 0.6,
+                1 => 1.0,
+                _ => 0.8,
+            };
+            for (tier, vms) in [(0, &app.web), (1, &app.app), (2, &app.db)] {
+                for &vm in vms {
+                    let cpu = (load * tier_weight(tier) * 0.6 + gaussian(&mut rng) * 2.0)
+                        .clamp(0.0, 100.0);
+                    let mem = (25.0 + load * 0.3 + gaussian(&mut rng) * 2.0).clamp(0.0, 100.0);
+                    let tx = (load * 1.5 + gaussian(&mut rng) * 3.0).max(0.0);
+                    db.record(vm, MetricKind::CpuUtil, t, cpu);
+                    db.record(vm, MetricKind::MemUtil, t, mem);
+                    db.record(vm, MetricKind::NetTx, t, tx);
+                    db.record(vm, MetricKind::NetRx, t, (tx * 0.8).max(0.0));
+                    db.record(vm, MetricKind::DropRate, t, 0.0);
+                    // vNIC mirrors the VM's traffic (vNIC id = vm id + 1 by
+                    // construction).
+                    let vnic = EntityId(vm.0 + 1);
+                    db.record(vnic, MetricKind::NetTx, t, tx);
+                    db.record(vnic, MetricKind::NetRx, t, (tx * 0.8).max(0.0));
+                    db.record(vnic, MetricKind::DropRate, t, 0.0);
+                }
+            }
+            for &flow in &app.flows {
+                db.record(flow, MetricKind::Throughput, t, (load * 2.0 + gaussian(&mut rng) * 4.0).max(0.0));
+                db.record(flow, MetricKind::SessionCount, t, (load * 0.4 + gaussian(&mut rng)).max(0.0));
+                db.record(flow, MetricKind::Rtt, t, (2.0 + load * 0.01 + gaussian(&mut rng) * 0.2).max(0.1));
+                db.record(flow, MetricKind::RetransmitRatio, t, 0.0);
+            }
+        }
+
+        // Hosts aggregate their resident VMs (shared-resource coupling).
+        for &(vm, h) in &vm_host {
+            let cpu = db.value_at(murphy_telemetry::MetricId::new(vm, MetricKind::CpuUtil), t);
+            let tx = db.value_at(murphy_telemetry::MetricId::new(vm, MetricKind::NetTx), t);
+            host_cpu[h] += cpu;
+            host_net[h] += tx;
+            host_vm_count[h] += 1;
+        }
+        for h in 0..config.num_hosts {
+            let denom = host_vm_count[h].max(1) as f64;
+            db.record(hosts[h], MetricKind::CpuUtil, t, (host_cpu[h] / denom).clamp(0.0, 100.0));
+            db.record(hosts[h], MetricKind::NetTx, t, host_net[h].max(0.0));
+            db.record(host_ports[h], MetricKind::NetTx, t, host_net[h].max(0.0));
+            db.record(host_ports[h], MetricKind::DropRate, t, 0.0);
+            db.record(host_ports[h], MetricKind::BufferUtil, t, (host_net[h] * 0.02).clamp(0.0, 100.0));
+        }
+        for (si, &sw) in switches.iter().enumerate() {
+            let total: f64 = (0..config.num_hosts)
+                .filter(|h| h % config.num_switches == si)
+                .map(|h| host_net[h])
+                .sum();
+            db.record(sw, MetricKind::NetTx, t, total.max(0.0));
+            db.record(sw, MetricKind::DropRate, t, 0.0);
+        }
+    }
+
+    Enterprise {
+        db,
+        apps,
+        hosts,
+        switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_telemetry::MetricId;
+
+    #[test]
+    fn small_enterprise_structure() {
+        let ent = generate(&EnterpriseConfig::small(1));
+        assert_eq!(ent.apps.len(), 6);
+        assert_eq!(ent.hosts.len(), 8);
+        assert_eq!(ent.switches.len(), 2);
+        // Each app: 2 VMs per tier × 3 tiers + flows.
+        let app0 = &ent.apps[0];
+        assert_eq!(app0.vms().len(), 6);
+        assert_eq!(app0.flows.len(), 4);
+        // App membership is tagged.
+        let members = ent.db.application_members("app0");
+        assert_eq!(members.len(), 6 + 4);
+    }
+
+    #[test]
+    fn estimated_entities_tracks_actual() {
+        let config = EnterpriseConfig::small(2);
+        let ent = generate(&config);
+        let actual = ent.db.entity_count();
+        let est = config.estimated_entities();
+        assert!(
+            (actual as f64 - est as f64).abs() / actual as f64 <= 0.4,
+            "estimate {est} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_estimate_is_about_17k() {
+        let est = EnterpriseConfig::paper_scale(0).estimated_entities();
+        assert!(
+            (12_000..=24_000).contains(&est),
+            "paper-scale estimate = {est}"
+        );
+    }
+
+    #[test]
+    fn host_cpu_couples_resident_vms() {
+        let ent = generate(&EnterpriseConfig::small(3));
+        // Host CPU must correlate with the mean of its resident VMs' CPU.
+        let host = ent.hosts[0];
+        let resident: Vec<EntityId> = ent
+            .db
+            .neighbors(host)
+            .into_iter()
+            .filter(|&e| ent.db.entity(e).map(|x| x.kind) == Some(EntityKind::Vm))
+            .collect();
+        if resident.is_empty() {
+            return; // unlucky seed: no VMs on host0
+        }
+        let host_series = ent
+            .db
+            .series(MetricId::new(host, MetricKind::CpuUtil))
+            .unwrap()
+            .window(0, 240, 0.0);
+        let mut mean_series = vec![0.0; 240];
+        for &vm in &resident {
+            let s = ent
+                .db
+                .series(MetricId::new(vm, MetricKind::CpuUtil))
+                .unwrap()
+                .window(0, 240, 0.0);
+            for (m, v) in mean_series.iter_mut().zip(&s) {
+                *m += v / resident.len() as f64;
+            }
+        }
+        let r = murphy_stats::pearson(&host_series, &mean_series);
+        assert!(r > 0.95, "host/VM coupling r = {r}");
+    }
+
+    #[test]
+    fn graphs_built_from_apps_have_cycles() {
+        // §2.2: cycles are the norm in enterprise relationship graphs.
+        let ent = generate(&EnterpriseConfig::small(4));
+        let members = ent.db.application_members("app0");
+        let graph = murphy_graph::build_from_seeds(
+            &ent.db,
+            &members,
+            murphy_graph::BuildOptions::four_hops(),
+        );
+        let stats = murphy_graph::CycleStats::count(&graph);
+        assert!(stats.len2 > 10, "len-2 cycles = {}", stats.len2);
+        assert!(stats.len3 > 0, "len-3 cycles = {}", stats.len3);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&EnterpriseConfig::small(5));
+        let b = generate(&EnterpriseConfig::small(5));
+        let vm = a.apps[0].web[0];
+        let m = MetricId::new(vm, MetricKind::CpuUtil);
+        assert_eq!(
+            a.db.series(m).unwrap().values(),
+            b.db.series(m).unwrap().values()
+        );
+    }
+
+    #[test]
+    fn vnic_id_convention_holds() {
+        // Metric synthesis relies on vNIC id = VM id + 1; verify.
+        let ent = generate(&EnterpriseConfig::small(6));
+        for app in &ent.apps {
+            for vm in app.vms() {
+                let vnic = EntityId(vm.0 + 1);
+                let e = ent.db.entity(vnic).expect("vnic exists");
+                assert_eq!(e.kind, EntityKind::VirtualNic, "entity after {vm} is {e:?}");
+            }
+        }
+    }
+}

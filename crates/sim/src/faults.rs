@@ -1,0 +1,176 @@
+//! Fault injection (§5.1.2 failure scenarios).
+//!
+//! Two families, matching the paper's evaluation:
+//!
+//! * **Resource contention** ([`ContentionFault`]) — stress-ng-style
+//!   CPU/memory/disk load injected into one container for a bounded
+//!   window, with configurable intensity. §6.3 runs >200 of these,
+//!   optionally preceded by up to 14 short "prior incidents" on random
+//!   containers ([`prior_incidents`]).
+//! * **Performance interference** ([`InterferencePlan`]) — a client
+//!   raises its request rate enough to overwhelm downstream services it
+//!   shares with another client (§6.1, motivated by the Figure 1
+//!   production incident). Realized as a workload spike, so it lives on
+//!   the workload side; this type records which client and window for
+//!   ground-truth bookkeeping.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which resource a contention fault stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// CPU hog (stress-ng --cpu).
+    Cpu,
+    /// Memory hog (stress-ng --vm).
+    Mem,
+    /// Disk/Io hog (stress-ng --hdd).
+    Disk,
+}
+
+impl FaultKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [FaultKind; 3] = [FaultKind::Cpu, FaultKind::Mem, FaultKind::Disk];
+}
+
+/// A resource-contention fault on one container.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionFault {
+    /// Stressed resource.
+    pub kind: FaultKind,
+    /// Index of the target container (service index in the topology).
+    pub target: usize,
+    /// First tick of the fault (inclusive).
+    pub start_tick: u64,
+    /// One past the last tick (exclusive).
+    pub end_tick: u64,
+    /// Added utilization percentage points at full intensity.
+    pub added_util: f64,
+}
+
+impl ContentionFault {
+    /// Utilization added to `container` at `tick` by this fault.
+    pub fn load_at(&self, container: usize, tick: u64) -> f64 {
+        if container == self.target && tick >= self.start_tick && tick < self.end_tick {
+            self.added_util
+        } else {
+            0.0
+        }
+    }
+
+    /// Is the fault active at `tick`?
+    pub fn active_at(&self, tick: u64) -> bool {
+        tick >= self.start_tick && tick < self.end_tick
+    }
+}
+
+/// A performance-interference fault: client `client` floods its entry
+/// service during the window (the rate spike itself is added to the
+/// client's [`Schedule`](crate::workload::Schedule)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferencePlan {
+    /// Index of the aggressor client in the workload.
+    pub client: usize,
+    /// First tick of the flood.
+    pub start_tick: u64,
+    /// One past the last tick.
+    pub end_tick: u64,
+    /// Extra requests per second during the flood.
+    pub extra_rps: f64,
+}
+
+/// Generate `n` short prior incidents on random containers before
+/// `main_start` — the §6.3 realism ingredient ("we induce up to 14 'prior
+/// incidents' where short-lived faults are injected on randomly chosen
+/// containers before the actual incident").
+///
+/// Each prior incident is 6–12 ticks long (1–2 minutes at 10 s ticks) with
+/// moderate intensity, placed uniformly in `[earliest, main_start)` without
+/// overlapping the main incident.
+pub fn prior_incidents<R: Rng>(
+    n: usize,
+    num_containers: usize,
+    earliest: u64,
+    main_start: u64,
+    rng: &mut R,
+) -> Vec<ContentionFault> {
+    if num_containers == 0 || main_start <= earliest {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| {
+            let duration = rng.gen_range(6..=12);
+            let latest_start = main_start.saturating_sub(duration).max(earliest);
+            let start = if latest_start > earliest {
+                rng.gen_range(earliest..latest_start)
+            } else {
+                earliest
+            };
+            ContentionFault {
+                kind: FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())],
+                target: rng.gen_range(0..num_containers),
+                start_tick: start,
+                end_tick: (start + duration).min(main_start),
+                added_util: rng.gen_range(25.0..55.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contention_load_is_windowed_and_targeted() {
+        let f = ContentionFault {
+            kind: FaultKind::Cpu,
+            target: 3,
+            start_tick: 100,
+            end_tick: 160,
+            added_util: 70.0,
+        };
+        assert_eq!(f.load_at(3, 99), 0.0);
+        assert_eq!(f.load_at(3, 100), 70.0);
+        assert_eq!(f.load_at(3, 159), 70.0);
+        assert_eq!(f.load_at(3, 160), 0.0);
+        assert_eq!(f.load_at(2, 120), 0.0);
+        assert!(f.active_at(100));
+        assert!(!f.active_at(160));
+    }
+
+    #[test]
+    fn prior_incidents_fit_before_main() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let faults = prior_incidents(14, 8, 20, 180, &mut rng);
+        assert_eq!(faults.len(), 14);
+        for f in &faults {
+            assert!(f.start_tick >= 20);
+            assert!(f.end_tick <= 180, "fault {f:?} overlaps the main incident");
+            assert!(f.end_tick > f.start_tick);
+            assert!(f.target < 8);
+            assert!(f.added_util >= 25.0 && f.added_util <= 55.0);
+        }
+    }
+
+    #[test]
+    fn prior_incidents_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(prior_incidents(5, 0, 0, 100, &mut rng).is_empty());
+        assert!(prior_incidents(5, 4, 100, 100, &mut rng).is_empty());
+        assert!(prior_incidents(0, 4, 0, 100, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn prior_incidents_vary_kind_and_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let faults = prior_incidents(30, 10, 0, 500, &mut rng);
+        let kinds: std::collections::BTreeSet<_> =
+            faults.iter().map(|f| format!("{:?}", f.kind)).collect();
+        let targets: std::collections::BTreeSet<_> = faults.iter().map(|f| f.target).collect();
+        assert!(kinds.len() >= 2, "fault kinds should vary");
+        assert!(targets.len() >= 4, "targets should vary");
+    }
+}

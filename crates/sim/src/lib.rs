@@ -1,0 +1,41 @@
+//! Evaluation environments for the Murphy reproduction.
+//!
+//! The paper evaluates on two environments neither of which is publicly
+//! reproducible as-is — live DeathStarBench deployments on AWS/private
+//! cloud, and a large enterprise's production monitoring platform. This
+//! crate provides synthetic equivalents that exercise the same code paths
+//! (see DESIGN.md §1 for the substitution argument):
+//!
+//! * [`microservice`] — a discrete-time queueing emulator of
+//!   microservice applications with explicit call graphs, including
+//!   topologies matching the paper's two apps (hotel-reservation: 8
+//!   services / 16 entities; social-network: 24 services / 57 entities).
+//! * [`workload`] — open-loop request generation (wrk2-style constant
+//!   rates with spikes).
+//! * [`faults`] — fault injection: resource contention (stress-ng-style
+//!   CPU/memory/disk load on a container) and performance interference
+//!   (a client overwhelming services shared with another client), plus
+//!   the "prior incidents" of §6.3.
+//! * [`enterprise`] — a generator of enterprise topologies (applications
+//!   with VM tiers, flows, hosts, NICs, switches) with coupled metric
+//!   synthesis, scalable to the paper's ~17K entities / 300 apps.
+//! * [`incidents`] — the 13 scripted incidents of Table 1.
+//! * [`scenario`] — the [`scenario::Scenario`] bundle (database + graph +
+//!   symptom + ground truth) consumed by the experiment harness, and
+//!   builders for every scenario family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enterprise;
+pub mod faults;
+pub mod incidents;
+pub mod microservice;
+pub mod scenario;
+pub mod traces;
+pub mod workload;
+
+pub use faults::{ContentionFault, FaultKind, InterferencePlan};
+pub use microservice::{EmulationConfig, Emulation, MicroserviceTopology};
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use workload::{Schedule, Workload};

@@ -1,0 +1,712 @@
+//! Discrete-time microservice emulation.
+//!
+//! A stand-in for the paper's DeathStarBench deployments: explicit service
+//! call graphs, one container per service, M/M/1-flavoured queueing per
+//! container, and metric collection at fixed (10 s) intervals into a
+//! [`MonitoringDb`]. The emulator produces exactly the causal couplings
+//! the diagnosis experiments need:
+//!
+//! * request load propagates *down* the call graph (caller → callee),
+//! * latency propagates *up* it (callee → caller),
+//! * container saturation (from load or injected faults) inflates the
+//!   resident service's latency and, transitively, every upstream
+//!   client's observed latency.
+//!
+//! Two topology constructors match the paper's apps in service/entity
+//! counts: [`MicroserviceTopology::hotel_reservation`] (8 services, 16
+//! entities) and [`MicroserviceTopology::social_network`] (24 services,
+//! 57 entities including per-node infra).
+
+use crate::faults::ContentionFault;
+use crate::workload::Workload;
+use murphy_learn::model::gaussian;
+use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One service definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDef {
+    /// Service name (e.g. `"geo"`).
+    pub name: String,
+    /// Base processing latency in ms at zero load.
+    pub base_latency_ms: f64,
+    /// CPU utilization points consumed per request/second.
+    pub cpu_per_req: f64,
+    /// Indices of downstream services this service calls.
+    pub callees: Vec<usize>,
+}
+
+/// A microservice application topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroserviceTopology {
+    /// Application name.
+    pub name: String,
+    /// Services, indexed by position.
+    pub services: Vec<ServiceDef>,
+    /// Indices of user-facing entry services.
+    pub entries: Vec<usize>,
+    /// Number of hosts/nodes the containers spread over (0 = no host
+    /// entities, as in the paper's single-node social-network setup where
+    /// 57 entities are services + containers + per-service network pieces).
+    pub num_hosts: usize,
+}
+
+fn svc(name: &str, base_latency_ms: f64, cpu_per_req: f64, callees: &[usize]) -> ServiceDef {
+    ServiceDef {
+        name: name.to_string(),
+        base_latency_ms,
+        cpu_per_req,
+        callees: callees.to_vec(),
+    }
+}
+
+impl MicroserviceTopology {
+    /// The hotel-reservation app: 8 services, two user-facing endpoints
+    /// (search and reserve) sharing the `rate` and `profile` backends —
+    /// the sharing is what makes the §6.1 interference scenario possible.
+    /// With one container per service: 16 relationship-graph entities.
+    pub fn hotel_reservation() -> Self {
+        // Index map:
+        // 0 frontend-search, 1 frontend-reserve, 2 search, 3 reservation,
+        // 4 geo, 5 rate, 6 user, 7 profile
+        let services = vec![
+            svc("frontend-search", 2.0, 0.02, &[2, 7]),
+            svc("frontend-reserve", 2.0, 0.02, &[3, 7]),
+            svc("search", 3.0, 0.04, &[4, 5]),
+            svc("reservation", 3.0, 0.04, &[5, 6]),
+            svc("geo", 1.5, 0.05, &[]),
+            svc("rate", 1.5, 0.06, &[]),
+            svc("user", 1.5, 0.05, &[]),
+            svc("profile", 2.0, 0.05, &[]),
+        ];
+        Self {
+            name: "hotel-reservation".to_string(),
+            services,
+            entries: vec![0, 1],
+            num_hosts: 0,
+        }
+    }
+
+    /// The social-network app: 24 services across three endpoint trees
+    /// (home-timeline, user-timeline, compose-post) over shared storage
+    /// backends. With one container per service plus 9 infra entities
+    /// (hosts): 24 + 24 + 9 = 57 relationship-graph entities.
+    pub fn social_network() -> Self {
+        // 0 home-timeline, 1 user-timeline, 2 compose-post (entries)
+        // 3 text, 4 media, 5 user-mention, 6 url-shorten, 7 unique-id,
+        // 8 user-service, 9 social-graph, 10 post-storage, 11 write-timeline,
+        // 12 read-timeline, 13 nginx-gateway... plus memcached/mongo pairs.
+        let services = vec![
+            svc("home-timeline", 2.0, 0.02, &[12, 9]),
+            svc("user-timeline", 2.0, 0.02, &[12, 10]),
+            svc("compose-post", 2.5, 0.03, &[3, 4, 5, 6, 7, 11]),
+            svc("text", 1.0, 0.03, &[5, 6]),
+            svc("media", 2.0, 0.05, &[17]),
+            svc("user-mention", 1.0, 0.03, &[8]),
+            svc("url-shorten", 1.0, 0.03, &[18]),
+            svc("unique-id", 0.5, 0.01, &[]),
+            svc("user-service", 1.0, 0.03, &[19, 20]),
+            svc("social-graph", 1.5, 0.04, &[21, 20]),
+            svc("post-storage", 1.5, 0.05, &[22, 23]),
+            svc("write-timeline", 1.5, 0.04, &[10, 9, 12]),
+            svc("read-timeline", 1.5, 0.04, &[22, 21]),
+            svc("nginx-gateway", 0.5, 0.01, &[]),
+            svc("media-frontend", 1.0, 0.02, &[4]),
+            svc("login", 1.0, 0.02, &[8]),
+            svc("follow", 1.0, 0.02, &[9]),
+            svc("media-mongo", 2.0, 0.06, &[]),
+            svc("url-mongo", 2.0, 0.06, &[]),
+            svc("user-mongo", 2.0, 0.06, &[]),
+            svc("user-memcached", 0.5, 0.04, &[]),
+            svc("graph-mongo", 2.0, 0.06, &[]),
+            svc("timeline-redis", 0.5, 0.04, &[]),
+            svc("post-mongo", 2.0, 0.06, &[]),
+        ];
+        Self {
+            name: "social-network".to_string(),
+            services,
+            entries: vec![0, 1, 2],
+            num_hosts: 9,
+        }
+    }
+
+    /// Number of services.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Topological order of the call DAG (callers before callees).
+    /// Panics if the call graph has a cycle — topologies are authored
+    /// acyclic (calls within one request); cyclic *influence* comes from
+    /// sharing, not from call loops.
+    pub fn call_order(&self) -> Vec<usize> {
+        let n = self.services.len();
+        let mut in_deg = vec![0usize; n];
+        for s in &self.services {
+            for &c in &s.callees {
+                in_deg[c] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| in_deg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for &c in &self.services[u].callees {
+                in_deg[c] -= 1;
+                if in_deg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "call graph of {} has a cycle", self.name);
+        order
+    }
+
+    /// Services reachable (transitively called) from an entry.
+    pub fn call_tree(&self, entry: usize) -> Vec<usize> {
+        let mut seen = vec![entry];
+        let mut stack = vec![entry];
+        while let Some(u) = stack.pop() {
+            for &c in &self.services[u].callees {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Services called by more than one entry's tree — the "common
+    /// services" of the §6.1 interference setup.
+    pub fn common_services(&self) -> Vec<usize> {
+        let trees: Vec<Vec<usize>> = self.entries.iter().map(|&e| self.call_tree(e)).collect();
+        (0..self.services.len())
+            .filter(|s| trees.iter().filter(|t| t.contains(s)).count() >= 2)
+            .collect()
+    }
+}
+
+/// Emulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmulationConfig {
+    /// Number of ticks to simulate.
+    pub ticks: u64,
+    /// Interval per tick in seconds (paper: 10 s).
+    pub interval_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative measurement-noise scale on recorded metrics.
+    pub noise: f64,
+    /// Record associations as *directed* causal edges (container→service,
+    /// callee→caller) — the acyclic §6.3 environment that Sage can model.
+    /// When false, associations are undirected (the general cyclic input).
+    pub causal_edges: bool,
+    /// Load shedding: above this CPU utilization a service sheds excess
+    /// requests — downstream load saturates, error rate spikes, and the
+    /// latency/utilization relationship becomes *nonlinear* (the §7
+    /// limitation: "Murphy might not handle non-linearity in metrics,
+    /// e.g. if load shedding kicks in after a threshold"). `None`
+    /// disables shedding (the default, linear regime).
+    pub load_shedding_threshold: Option<f64>,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> Self {
+        Self {
+            ticks: 360, // one hour at 10 s ticks
+            interval_secs: 10,
+            seed: 7,
+            noise: 0.02,
+            causal_edges: false,
+            load_shedding_threshold: None,
+        }
+    }
+}
+
+/// Handles to the entities an emulation created.
+#[derive(Debug, Clone, Default)]
+pub struct EmulationEntities {
+    /// Service entities, by topology index.
+    pub services: Vec<EntityId>,
+    /// Container entities, by topology index.
+    pub containers: Vec<EntityId>,
+    /// Client entities, by workload client index.
+    pub clients: Vec<EntityId>,
+    /// Host entities (may be empty).
+    pub hosts: Vec<EntityId>,
+}
+
+/// A completed emulation: the database plus entity handles.
+#[derive(Debug, Clone)]
+pub struct Emulation {
+    /// The populated monitoring database.
+    pub db: MonitoringDb,
+    /// Entity handles.
+    pub entities: EmulationEntities,
+    /// The topology that was emulated.
+    pub topology: MicroserviceTopology,
+}
+
+/// Run the emulation: drive `workload` through `topology` with `faults`,
+/// recording metrics every tick.
+pub fn emulate(
+    topology: &MicroserviceTopology,
+    workload: &Workload,
+    faults: &[ContentionFault],
+    config: &EmulationConfig,
+) -> Emulation {
+    let mut db = MonitoringDb::new(config.interval_secs);
+    let n = topology.num_services();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- entities & associations ---------------------------------------
+    let services: Vec<EntityId> = topology
+        .services
+        .iter()
+        .map(|s| db.add_entity(EntityKind::Service, s.name.clone()))
+        .collect();
+    let containers: Vec<EntityId> = topology
+        .services
+        .iter()
+        .map(|s| db.add_entity(EntityKind::Container, format!("{}-ctr", s.name)))
+        .collect();
+    let clients: Vec<EntityId> = workload
+        .clients
+        .iter()
+        .enumerate()
+        .map(|(i, (entry, _))| {
+            db.add_entity(
+                EntityKind::Client,
+                format!("client{}-{}", i, topology.services[*entry].name),
+            )
+        })
+        .collect();
+    let hosts: Vec<EntityId> = (0..topology.num_hosts)
+        .map(|i| db.add_entity(EntityKind::Host, format!("node{i}")))
+        .collect();
+
+    for i in 0..n {
+        if config.causal_edges {
+            // Causal direction: the container's resources drive the
+            // service; a callee's behaviour drives its caller.
+            db.relate_directed(containers[i], services[i], AssociationKind::ServiceOnContainer);
+            for &c in &topology.services[i].callees {
+                db.relate_directed(services[c], services[i], AssociationKind::ServiceCall);
+            }
+        } else {
+            db.relate(services[i], containers[i], AssociationKind::ServiceOnContainer);
+            for &c in &topology.services[i].callees {
+                db.relate(services[i], services[c], AssociationKind::ServiceCall);
+            }
+        }
+        if !hosts.is_empty() {
+            let h = hosts[i % hosts.len()];
+            db.relate(containers[i], h, AssociationKind::RunsOn);
+        }
+        db.tag_application(topology.name.clone(), services[i]);
+        db.tag_application(topology.name.clone(), containers[i]);
+    }
+    for (i, (entry, _)) in workload.clients.iter().enumerate() {
+        if config.causal_edges {
+            db.relate_directed(clients[i], services[*entry], AssociationKind::ClientOf);
+        } else {
+            db.relate(clients[i], services[*entry], AssociationKind::ClientOf);
+        }
+    }
+
+    // --- per-tick simulation --------------------------------------------
+    let order = topology.call_order();
+    for t in 0..config.ticks {
+        // Client rates.
+        let client_rates: Vec<f64> = workload
+            .clients
+            .iter()
+            .map(|(_, schedule)| schedule.rate_at(t, &mut rng))
+            .collect();
+
+        // Load propagation (callers before callees). With load shedding a
+        // saturated service forwards only the load it can actually serve,
+        // clipping the linear rate→rate relationship.
+        let mut rate = vec![0.0f64; n];
+        let mut shed = vec![0.0f64; n];
+        for (i, (entry, _)) in workload.clients.iter().enumerate() {
+            rate[*entry] += client_rates[i];
+        }
+        for &u in &order {
+            let mut served = rate[u];
+            if let Some(threshold) = config.load_shedding_threshold {
+                let capacity_rps = threshold / topology.services[u].cpu_per_req.max(1e-9);
+                if served > capacity_rps {
+                    shed[u] = served - capacity_rps;
+                    served = capacity_rps;
+                }
+            }
+            rate[u] = served;
+            for &c in &topology.services[u].callees {
+                rate[c] += served;
+            }
+        }
+
+        // Container utilization.
+        let mut util = vec![0.0f64; n];
+        let mut mem = vec![0.0f64; n];
+        let mut disk = vec![0.0f64; n];
+        for i in 0..n {
+            let fault_cpu: f64 = faults
+                .iter()
+                .filter(|f| f.kind == crate::faults::FaultKind::Cpu)
+                .map(|f| f.load_at(i, t))
+                .sum();
+            let fault_mem: f64 = faults
+                .iter()
+                .filter(|f| f.kind == crate::faults::FaultKind::Mem)
+                .map(|f| f.load_at(i, t))
+                .sum();
+            let fault_disk: f64 = faults
+                .iter()
+                .filter(|f| f.kind == crate::faults::FaultKind::Disk)
+                .map(|f| f.load_at(i, t))
+                .sum();
+            let base = rate[i] * topology.services[i].cpu_per_req;
+            util[i] = (base + fault_cpu + gaussian(&mut rng) * config.noise * 20.0)
+                .clamp(0.0, 100.0);
+            mem[i] = (18.0 + 0.02 * rate[i] + fault_mem + gaussian(&mut rng) * config.noise * 10.0)
+                .clamp(0.0, 100.0);
+            disk[i] = (8.0 + fault_disk + gaussian(&mut rng) * config.noise * 10.0)
+                .clamp(0.0, 100.0);
+        }
+
+        // Latency propagation (callees before callers). Saturation of any
+        // resource inflates the service's own processing time.
+        let mut latency = vec![0.0f64; n];
+        for &u in order.iter().rev() {
+            let saturation = util[u].max(mem[u]).max(disk[u]);
+            let congestion = saturation / (105.0 - saturation.min(104.0));
+            let own = topology.services[u].base_latency_ms * (1.0 + 3.0 * congestion);
+            let downstream: f64 = topology.services[u]
+                .callees
+                .iter()
+                .map(|&c| latency[c])
+                .sum();
+            latency[u] = own + downstream;
+        }
+
+        // Record everything.
+        let jitter = |rng: &mut StdRng, scale: f64| gaussian(rng) * config.noise * scale;
+        for i in 0..n {
+            db.record(containers[i], MetricKind::CpuUtil, t, util[i]);
+            db.record(containers[i], MetricKind::MemUtil, t, mem[i]);
+            db.record(containers[i], MetricKind::DiskUtil, t, disk[i]);
+            db.record(
+                containers[i],
+                MetricKind::NetTx,
+                t,
+                (rate[i] * 0.3 + jitter(&mut rng, 1.0)).max(0.0),
+            );
+            db.record(
+                containers[i],
+                MetricKind::NetRx,
+                t,
+                (rate[i] * 0.2 + jitter(&mut rng, 1.0)).max(0.0),
+            );
+            db.record(
+                services[i],
+                MetricKind::Latency,
+                t,
+                (latency[i] + jitter(&mut rng, 2.0)).max(0.1),
+            );
+            db.record(services[i], MetricKind::RequestRate, t, rate[i].max(0.0));
+            // Errors: saturation-driven, plus the shed fraction when load
+            // shedding is active.
+            let shed_err = if rate[i] + shed[i] > 0.0 {
+                100.0 * shed[i] / (rate[i] + shed[i])
+            } else {
+                0.0
+            };
+            let err = (((util[i] - 95.0).max(0.0) * 1.5) + shed_err).min(100.0);
+            db.record(services[i], MetricKind::ErrorRate, t, err);
+        }
+        for (i, (entry, _)) in workload.clients.iter().enumerate() {
+            db.record(clients[i], MetricKind::RequestRate, t, client_rates[i]);
+            db.record(
+                clients[i],
+                MetricKind::Latency,
+                t,
+                (latency[*entry] + 2.0 + jitter(&mut rng, 2.0)).max(0.1),
+            );
+        }
+        for (hi, &h) in hosts.iter().enumerate() {
+            // Host CPU = mean of resident container CPUs (shared resource).
+            let resident: Vec<usize> = (0..n).filter(|i| i % hosts.len() == hi).collect();
+            let host_cpu = resident.iter().map(|&i| util[i]).sum::<f64>()
+                / resident.len().max(1) as f64;
+            db.record(h, MetricKind::CpuUtil, t, host_cpu.clamp(0.0, 100.0));
+            db.record(
+                h,
+                MetricKind::NetTx,
+                t,
+                resident.iter().map(|&i| rate[i] * 0.3).sum::<f64>().max(0.0),
+            );
+        }
+    }
+
+    Emulation {
+        db,
+        entities: EmulationEntities {
+            services,
+            containers,
+            clients,
+            hosts,
+        },
+        topology: topology.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+    use crate::workload::Schedule;
+    use murphy_telemetry::MetricId;
+
+    #[test]
+    fn hotel_topology_matches_paper_counts() {
+        let t = MicroserviceTopology::hotel_reservation();
+        assert_eq!(t.num_services(), 8);
+        // 8 services + 8 containers = 16 entities, as in §5.1.2.
+        let emu = emulate(
+            &t,
+            &Workload::new().with_client(0, Schedule::steady(50.0)),
+            &[],
+            &EmulationConfig { ticks: 5, ..Default::default() },
+        );
+        let app_entities = emu.db.application_members("hotel-reservation");
+        assert_eq!(app_entities.len(), 16);
+    }
+
+    #[test]
+    fn social_topology_matches_paper_counts() {
+        let t = MicroserviceTopology::social_network();
+        assert_eq!(t.num_services(), 24);
+        // 24 services + 24 containers + 9 hosts = 57 entities.
+        let emu = emulate(
+            &t,
+            &Workload::new().with_client(0, Schedule::steady(50.0)),
+            &[],
+            &EmulationConfig { ticks: 5, ..Default::default() },
+        );
+        assert_eq!(emu.db.entity_count(), 24 + 24 + 9 + 1); // +1 client
+    }
+
+    #[test]
+    fn hotel_has_common_services_between_entries() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let common = t.common_services();
+        // rate (5) and profile (7) are shared between the two endpoints.
+        assert!(common.contains(&5));
+        assert!(common.contains(&7));
+        assert!(!common.contains(&4)); // geo only under search
+    }
+
+    #[test]
+    fn call_order_is_topological() {
+        for t in [
+            MicroserviceTopology::hotel_reservation(),
+            MicroserviceTopology::social_network(),
+        ] {
+            let order = t.call_order();
+            let pos: Vec<usize> = {
+                let mut p = vec![0; order.len()];
+                for (rank, &s) in order.iter().enumerate() {
+                    p[s] = rank;
+                }
+                p
+            };
+            for (u, s) in t.services.iter().enumerate() {
+                for &c in &s.callees {
+                    assert!(pos[u] < pos[c], "{}: {u} must precede {c}", t.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_propagates_to_callees() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let emu = emulate(
+            &t,
+            &Workload::new().with_client(0, Schedule::steady(100.0)),
+            &[],
+            &EmulationConfig { ticks: 30, ..Default::default() },
+        );
+        // geo (4) is under search: it must see ≈ the entry rate.
+        let geo_rate = emu
+            .db
+            .current_value(MetricId::new(emu.entities.services[4], MetricKind::RequestRate));
+        assert!(geo_rate > 30.0, "geo rate = {geo_rate}");
+        // user (6) is only under reserve: ≈ 0 rate.
+        let user_rate = emu
+            .db
+            .current_value(MetricId::new(emu.entities.services[6], MetricKind::RequestRate));
+        assert!(user_rate < 5.0, "user rate = {user_rate}");
+    }
+
+    #[test]
+    fn cpu_fault_raises_util_and_latency() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let fault = ContentionFault {
+            kind: FaultKind::Cpu,
+            target: 5, // rate service
+            start_tick: 100,
+            end_tick: 160,
+            added_util: 80.0,
+        };
+        let emu = emulate(
+            &t,
+            &Workload::new().with_client(0, Schedule::steady(60.0)),
+            &[fault],
+            &EmulationConfig { ticks: 160, ..Default::default() },
+        );
+        let rate_ctr = emu.entities.containers[5];
+        let util_before = emu.db.value_at(MetricId::new(rate_ctr, MetricKind::CpuUtil), 50);
+        let util_during = emu.db.value_at(MetricId::new(rate_ctr, MetricKind::CpuUtil), 130);
+        assert!(util_during > util_before + 40.0);
+        // Entry latency (frontend-search calls search → rate) inflates too.
+        let entry = emu.entities.services[0];
+        let lat_before = emu.db.value_at(MetricId::new(entry, MetricKind::Latency), 50);
+        let lat_during = emu.db.value_at(MetricId::new(entry, MetricKind::Latency), 130);
+        assert!(
+            lat_during > lat_before * 1.5,
+            "before {lat_before}, during {lat_during}"
+        );
+    }
+
+    #[test]
+    fn interference_spike_raises_sibling_latency() {
+        // Client A floods frontend-search; client B's frontend-reserve
+        // latency rises through the shared `rate`/`profile` services.
+        let t = MicroserviceTopology::hotel_reservation();
+        let workload = Workload::new()
+            .with_client(0, Schedule::steady(60.0).with_spike(120, 180, 1400.0))
+            .with_client(1, Schedule::steady(60.0));
+        let emu = emulate(
+            &t,
+            &workload,
+            &[],
+            &EmulationConfig { ticks: 180, ..Default::default() },
+        );
+        let client_b = emu.entities.clients[1];
+        let before = emu.db.value_at(MetricId::new(client_b, MetricKind::Latency), 60);
+        let during = emu.db.value_at(MetricId::new(client_b, MetricKind::Latency), 150);
+        assert!(
+            during > before * 1.3,
+            "client B latency must rise: before {before}, during {during}"
+        );
+    }
+
+    #[test]
+    fn causal_edges_build_a_dag() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let emu = emulate(
+            &t,
+            &Workload::new().with_client(0, Schedule::steady(50.0)),
+            &[],
+            &EmulationConfig { ticks: 5, causal_edges: true, ..Default::default() },
+        );
+        // Every association is directed.
+        assert!(emu
+            .db
+            .associations()
+            .iter()
+            .all(|a| a.direction != murphy_telemetry::Directionality::Both));
+    }
+
+    #[test]
+    fn undirected_edges_create_cycles() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let emu = emulate(
+            &t,
+            &Workload::new().with_client(0, Schedule::steady(50.0)),
+            &[],
+            &EmulationConfig { ticks: 5, ..Default::default() },
+        );
+        let graph = murphy_graph::build_from_seeds(
+            &emu.db,
+            &[emu.entities.services[0]],
+            murphy_graph::BuildOptions::default(),
+        );
+        let stats = murphy_graph::CycleStats::count(&graph);
+        assert!(stats.len2 > 0, "undirected input must contain 2-cycles");
+    }
+
+    #[test]
+    fn load_shedding_caps_downstream_rate_and_raises_errors() {
+        let t = MicroserviceTopology::hotel_reservation();
+        // search has cpu_per_req 0.04: a 60% shedding threshold caps its
+        // served rate at 1500 rps; drive 60+2000 rps at it.
+        let workload =
+            Workload::new().with_client(0, Schedule::steady(60.0).with_spike(20, 60, 2000.0));
+        let linear = emulate(&t, &workload, &[], &EmulationConfig { ticks: 60, ..Default::default() });
+        let shedding = emulate(
+            &t,
+            &workload,
+            &[],
+            &EmulationConfig {
+                ticks: 60,
+                load_shedding_threshold: Some(60.0),
+                ..Default::default()
+            },
+        );
+        let geo = |emu: &Emulation, tick: u64| {
+            emu.db
+                .value_at(MetricId::new(emu.entities.services[4], MetricKind::RequestRate), tick)
+        };
+        // Downstream of the shedding search service, the rate saturates.
+        assert!(geo(&shedding, 40) < geo(&linear, 40) * 0.9, "{} vs {}", geo(&shedding, 40), geo(&linear, 40));
+        // The shedding service reports errors; the linear one may not.
+        let err = shedding
+            .db
+            .value_at(MetricId::new(shedding.entities.services[2], MetricKind::ErrorRate), 40);
+        assert!(err > 5.0, "shed errors = {err}");
+    }
+
+    #[test]
+    fn shedding_is_inactive_below_threshold() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let workload = Workload::new().with_client(0, Schedule::steady(50.0));
+        let linear = emulate(&t, &workload, &[], &EmulationConfig { ticks: 20, ..Default::default() });
+        let shedding = emulate(
+            &t,
+            &workload,
+            &[],
+            &EmulationConfig {
+                ticks: 20,
+                load_shedding_threshold: Some(90.0),
+                ..Default::default()
+            },
+        );
+        let m = MetricId::new(linear.entities.services[4], MetricKind::RequestRate);
+        assert_eq!(
+            linear.db.series(m).unwrap().values(),
+            shedding.db.series(m).unwrap().values(),
+            "below threshold the two regimes are identical"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = MicroserviceTopology::hotel_reservation();
+        let w = Workload::new().with_client(0, Schedule::steady(50.0));
+        let cfg = EmulationConfig { ticks: 20, ..Default::default() };
+        let a = emulate(&t, &w, &[], &cfg);
+        let b = emulate(&t, &w, &[], &cfg);
+        let m = MetricId::new(a.entities.services[0], MetricKind::Latency);
+        assert_eq!(
+            a.db.series(m).unwrap().values(),
+            b.db.series(m).unwrap().values()
+        );
+    }
+}

@@ -1,0 +1,357 @@
+//! Scenarios: the unit the experiment harness consumes.
+//!
+//! A [`Scenario`] bundles everything a diagnosis scheme needs — the
+//! monitoring database, the relationship graph, the problematic symptom —
+//! together with the evaluation-side ground truth: the true root cause
+//! (and, for the §6.1 relaxed metrics, the set of acceptable "close"
+//! entities).
+
+use crate::faults::{prior_incidents, ContentionFault, FaultKind, InterferencePlan};
+use crate::microservice::{emulate, EmulationConfig, MicroserviceTopology};
+use crate::workload::{Schedule, Workload};
+use murphy_core::Symptom;
+use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph};
+use murphy_telemetry::{EntityId, MetricKind, MonitoringDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully-built evaluation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: String,
+    /// The monitoring database at diagnosis time.
+    pub db: MonitoringDb,
+    /// The relationship graph seeded from the symptom.
+    pub graph: RelationshipGraph,
+    /// The problematic symptom to diagnose.
+    pub symptom: Symptom,
+    /// Ground-truth root cause entities (operator resolution).
+    pub ground_truth: Vec<EntityId>,
+    /// Entities acceptable under the §6.1 *relaxed* criterion (the true
+    /// root cause plus common services/containers). Empty when the
+    /// relaxed criterion doesn't apply.
+    pub relaxed_truth: Vec<EntityId>,
+    /// Tick at which the main incident starts.
+    pub incident_start_tick: u64,
+}
+
+/// What kind of fault the builder injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlan {
+    /// stress-ng-style resource contention on a (seed-chosen) container.
+    Contention {
+        /// Stressed resource.
+        kind: FaultKind,
+        /// Intensity multiplier (1.0 ≈ 60 added utilization points).
+        intensity: f64,
+    },
+    /// Performance interference: client 0 floods its entry; client 1 (the
+    /// victim) observes latency. `intensity` multiplies the flood rate.
+    Interference {
+        /// Flood-rate multiplier (1.0 ≈ 20× the base rate).
+        intensity: f64,
+    },
+}
+
+impl FaultPlan {
+    /// Contention fault shorthand.
+    pub fn contention(kind: FaultKind, intensity: f64) -> Self {
+        FaultPlan::Contention { kind, intensity }
+    }
+
+    /// Interference fault shorthand.
+    pub fn interference(intensity: f64) -> Self {
+        FaultPlan::Interference { intensity }
+    }
+}
+
+/// Builder for microservice scenarios.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    topology: MicroserviceTopology,
+    seed: u64,
+    ticks: u64,
+    fault: FaultPlan,
+    num_prior_incidents: usize,
+    causal_edges: bool,
+    base_rps: f64,
+}
+
+impl ScenarioBuilder {
+    /// Start from the hotel-reservation topology.
+    pub fn hotel_reservation(seed: u64) -> Self {
+        Self::new(MicroserviceTopology::hotel_reservation(), seed)
+    }
+
+    /// Start from the social-network topology.
+    pub fn social_network(seed: u64) -> Self {
+        Self::new(MicroserviceTopology::social_network(), seed)
+    }
+
+    /// Start from an arbitrary topology.
+    pub fn new(topology: MicroserviceTopology, seed: u64) -> Self {
+        Self {
+            topology,
+            seed,
+            ticks: 360,
+            fault: FaultPlan::contention(FaultKind::Cpu, 1.0),
+            num_prior_incidents: 0,
+            causal_edges: false,
+            base_rps: 60.0,
+        }
+    }
+
+    /// Choose the fault to inject.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Number of short prior incidents before the main one (§6.3 realism).
+    pub fn with_prior_incidents(mut self, n: usize) -> Self {
+        self.num_prior_incidents = n;
+        self
+    }
+
+    /// Trace length in ticks.
+    pub fn with_ticks(mut self, ticks: u64) -> Self {
+        self.ticks = ticks;
+        self
+    }
+
+    /// Record directed causal associations (the acyclic §6.3 environment).
+    pub fn with_causal_edges(mut self, causal: bool) -> Self {
+        self.causal_edges = causal;
+        self
+    }
+
+    /// Baseline request rate per client.
+    pub fn with_base_rps(mut self, rps: f64) -> Self {
+        self.base_rps = rps;
+        self
+    }
+
+    /// Build the scenario: run the emulation and assemble ground truth.
+    pub fn build(self) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.topology.num_services();
+        // Main incident occupies the last sixth of the trace and is still
+        // in progress at diagnosis time (the paper diagnoses mid-incident).
+        let incident_start = self.ticks - (self.ticks / 6).max(20);
+        let incident_end = self.ticks;
+
+        match self.fault {
+            FaultPlan::Contention { kind, intensity } => {
+                // Fault a random non-entry container.
+                let non_entry: Vec<usize> =
+                    (0..n).filter(|s| !self.topology.entries.contains(s)).collect();
+                let target = non_entry[rng.gen_range(0..non_entry.len())];
+                let main = ContentionFault {
+                    kind,
+                    target,
+                    start_tick: incident_start,
+                    end_tick: incident_end,
+                    added_util: (60.0 * intensity).min(98.0),
+                };
+                let mut faults = prior_incidents(
+                    self.num_prior_incidents,
+                    n,
+                    10,
+                    incident_start.saturating_sub(5),
+                    &mut rng,
+                );
+                faults.push(main);
+
+                // One client per entry.
+                let mut workload = Workload::new();
+                for &e in &self.topology.entries {
+                    workload = workload.with_client(e, Schedule::steady(self.base_rps));
+                }
+                let emu = emulate(
+                    &self.topology,
+                    &workload,
+                    &faults,
+                    &EmulationConfig {
+                        ticks: self.ticks,
+                        seed: self.seed ^ 0xABCD,
+                        causal_edges: self.causal_edges,
+                        ..Default::default()
+                    },
+                );
+
+                // Symptom: the latency of the entry service whose tree
+                // contains the faulted container (first match).
+                let entry = *self
+                    .topology
+                    .entries
+                    .iter()
+                    .find(|&&e| self.topology.call_tree(e).contains(&target))
+                    .unwrap_or(&self.topology.entries[0]);
+                let symptom = Symptom::high(emu.entities.services[entry], MetricKind::Latency);
+                let graph =
+                    build_from_seeds(&emu.db, &[symptom.entity], BuildOptions::default());
+                let faulted_container = emu.entities.containers[target];
+                Scenario {
+                    name: format!(
+                        "{}-contention-{:?}-s{}",
+                        self.topology.name, kind, self.seed
+                    ),
+                    db: emu.db,
+                    graph,
+                    symptom,
+                    ground_truth: vec![faulted_container],
+                    relaxed_truth: vec![faulted_container, emu.entities.services[target]],
+                    incident_start_tick: incident_start,
+                }
+            }
+            FaultPlan::Interference { intensity } => {
+                assert!(
+                    self.topology.entries.len() >= 2,
+                    "interference needs two entry services"
+                );
+                let aggressor_entry = self.topology.entries[0];
+                let victim_entry = self.topology.entries[1];
+                let flood = self.base_rps * 20.0 * intensity;
+                let workload = Workload::new()
+                    .with_client(
+                        aggressor_entry,
+                        Schedule::steady(self.base_rps).with_spike(
+                            incident_start,
+                            incident_end,
+                            flood,
+                        ),
+                    )
+                    .with_client(victim_entry, Schedule::steady(self.base_rps));
+                let _plan = InterferencePlan {
+                    client: 0,
+                    start_tick: incident_start,
+                    end_tick: incident_end,
+                    extra_rps: flood,
+                };
+                let emu = emulate(
+                    &self.topology,
+                    &workload,
+                    &[],
+                    &EmulationConfig {
+                        ticks: self.ticks,
+                        seed: self.seed ^ 0xABCD,
+                        causal_edges: self.causal_edges,
+                        ..Default::default()
+                    },
+                );
+
+                // Symptom: client B's (victim's) observed latency.
+                let symptom = Symptom::high(emu.entities.clients[1], MetricKind::Latency);
+                let graph =
+                    build_from_seeds(&emu.db, &[symptom.entity], BuildOptions::default());
+                // True root cause: the aggressor client (its RPS load).
+                let aggressor = emu.entities.clients[0];
+                // Relaxed: aggressor, aggressor's entry service, common
+                // services and their containers.
+                let mut relaxed = vec![aggressor, emu.entities.services[aggressor_entry]];
+                for s in self.topology.common_services() {
+                    relaxed.push(emu.entities.services[s]);
+                    relaxed.push(emu.entities.containers[s]);
+                }
+                Scenario {
+                    name: format!("{}-interference-s{}", self.topology.name, self.seed),
+                    db: emu.db,
+                    graph,
+                    symptom,
+                    ground_truth: vec![aggressor],
+                    relaxed_truth: relaxed,
+                    incident_start_tick: incident_start,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_telemetry::MetricId;
+
+    #[test]
+    fn contention_scenario_has_consistent_ground_truth() {
+        let s = ScenarioBuilder::hotel_reservation(3)
+            .with_fault(FaultPlan::contention(FaultKind::Cpu, 1.2))
+            .with_ticks(240)
+            .build();
+        assert_eq!(s.ground_truth.len(), 1);
+        let rc = s.ground_truth[0];
+        // The root cause container is in the graph and its CPU is elevated
+        // at diagnosis time.
+        assert!(s.graph.contains(rc));
+        let cpu = s.db.current_value(MetricId::new(rc, MetricKind::CpuUtil));
+        assert!(cpu > 40.0, "faulted container CPU = {cpu}");
+        // The symptom entity's latency is elevated relative to before.
+        let lat_now = s.db.current_value(s.symptom.metric_id());
+        let lat_before = s.db.value_at(s.symptom.metric_id(), 30);
+        assert!(lat_now > lat_before, "latency must rise during incident");
+    }
+
+    #[test]
+    fn interference_scenario_blames_the_aggressor_client() {
+        let s = ScenarioBuilder::hotel_reservation(5)
+            .with_fault(FaultPlan::interference(1.0))
+            .with_ticks(240)
+            .build();
+        let aggressor = s.ground_truth[0];
+        let agg_rate = s.db.current_value(MetricId::new(aggressor, MetricKind::RequestRate));
+        assert!(agg_rate > 500.0, "aggressor rate = {agg_rate}");
+        // The relaxed set contains common services.
+        assert!(s.relaxed_truth.len() > 2);
+        assert!(s.relaxed_truth.contains(&aggressor));
+        // Victim client's latency is the symptom and it is elevated.
+        let lat_now = s.db.current_value(s.symptom.metric_id());
+        let lat_before = s.db.value_at(s.symptom.metric_id(), 30);
+        assert!(lat_now > lat_before * 1.2, "now {lat_now} before {lat_before}");
+    }
+
+    #[test]
+    fn causal_scenario_is_acyclic_for_sage() {
+        let s = ScenarioBuilder::social_network(9)
+            .with_fault(FaultPlan::contention(FaultKind::Mem, 1.0))
+            .with_causal_edges(true)
+            .with_ticks(240)
+            .build();
+        // All service/container associations are directed...
+        let directed = s
+            .db
+            .associations()
+            .iter()
+            .filter(|a| a.direction != murphy_telemetry::Directionality::Both)
+            .count();
+        assert!(directed > 0);
+        // ...and the scenario graph still contains the ground truth.
+        assert!(s.graph.contains(s.ground_truth[0]));
+    }
+
+    #[test]
+    fn different_seeds_fault_different_containers() {
+        let targets: std::collections::BTreeSet<EntityId> = (0..8)
+            .map(|seed| {
+                ScenarioBuilder::hotel_reservation(seed)
+                    .with_fault(FaultPlan::contention(FaultKind::Cpu, 1.0))
+                    .with_ticks(120)
+                    .build()
+                    .ground_truth[0]
+            })
+            .collect();
+        assert!(targets.len() >= 3, "seeds should vary the fault location");
+    }
+
+    #[test]
+    fn prior_incidents_leave_main_window_intact() {
+        let s = ScenarioBuilder::hotel_reservation(2)
+            .with_fault(FaultPlan::contention(FaultKind::Disk, 1.0))
+            .with_prior_incidents(4)
+            .with_ticks(300)
+            .build();
+        assert!(s.incident_start_tick > 200);
+        // Diagnosis-time data exists up to the last tick.
+        assert_eq!(s.db.latest_tick(), 299);
+    }
+}

@@ -1,0 +1,151 @@
+//! Scenario trace export/import.
+//!
+//! The paper published its DeathStarBench traces; this module mirrors that
+//! by serializing complete scenarios — monitoring database, symptom,
+//! ground truth — as JSON files that a downstream user (or the CLI) can
+//! load and diagnose without re-running the emulator.
+
+use crate::scenario::Scenario;
+use murphy_core::Symptom;
+use murphy_graph::{build_from_seeds, BuildOptions};
+use murphy_telemetry::{EntityId, MonitoringDb};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// The on-disk form of a scenario. The relationship graph is *not*
+/// stored — it is derived data, rebuilt from the database on load (and
+/// that also exercises the §4.1 construction on every import).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceFile {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Scenario name.
+    pub name: String,
+    /// The monitoring database.
+    pub db: MonitoringDb,
+    /// The problematic symptom.
+    pub symptom: Symptom,
+    /// Ground-truth root causes.
+    pub ground_truth: Vec<EntityId>,
+    /// Relaxed-credit entities (§6.1), possibly empty.
+    pub relaxed_truth: Vec<EntityId>,
+    /// Tick at which the main incident starts.
+    pub incident_start_tick: u64,
+}
+
+/// Current trace format version.
+pub const TRACE_VERSION: u32 = 1;
+
+impl TraceFile {
+    /// Capture a scenario.
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        Self {
+            version: TRACE_VERSION,
+            name: scenario.name.clone(),
+            db: scenario.db.clone(),
+            symptom: scenario.symptom,
+            ground_truth: scenario.ground_truth.clone(),
+            relaxed_truth: scenario.relaxed_truth.clone(),
+            incident_start_tick: scenario.incident_start_tick,
+        }
+    }
+
+    /// Reconstruct the scenario, rebuilding the relationship graph from
+    /// the symptom entity.
+    pub fn into_scenario(self) -> Scenario {
+        let graph = build_from_seeds(&self.db, &[self.symptom.entity], BuildOptions::default());
+        Scenario {
+            name: self.name,
+            graph,
+            db: self.db,
+            symptom: self.symptom,
+            ground_truth: self.ground_truth,
+            relaxed_truth: self.relaxed_truth,
+            incident_start_tick: self.incident_start_tick,
+        }
+    }
+}
+
+/// Save a scenario as pretty JSON.
+pub fn save(scenario: &Scenario, path: &Path) -> io::Result<()> {
+    let trace = TraceFile::from_scenario(scenario);
+    let json = serde_json::to_string(&trace)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Load a scenario from a JSON trace file.
+pub fn load(path: &Path) -> io::Result<Scenario> {
+    let json = std::fs::read_to_string(path)?;
+    let trace: TraceFile =
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if trace.version != TRACE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {}", trace.version),
+        ));
+    }
+    Ok(trace.into_scenario())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+    use crate::scenario::{FaultPlan, ScenarioBuilder};
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::hotel_reservation(31)
+            .with_fault(FaultPlan::contention(FaultKind::Cpu, 1.2))
+            .with_ticks(80)
+            .build()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let s = scenario();
+        let dir = std::env::temp_dir().join("murphy-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save(&s, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.name, s.name);
+        assert_eq!(loaded.ground_truth, s.ground_truth);
+        assert_eq!(loaded.symptom, s.symptom);
+        assert_eq!(loaded.incident_start_tick, s.incident_start_tick);
+        assert_eq!(loaded.db.entity_count(), s.db.entity_count());
+        // The graph is rebuilt and covers the same entities.
+        assert_eq!(loaded.graph.node_count(), s.graph.node_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let s = scenario();
+        let mut trace = TraceFile::from_scenario(&s);
+        trace.version = 999;
+        let dir = std::env::temp_dir().join("murphy-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-version.json");
+        std::fs::write(&path, serde_json::to_string(&trace).unwrap()).unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let dir = std::env::temp_dir().join("murphy-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(load(Path::new("/nonexistent/murphy.json")).is_err());
+    }
+}

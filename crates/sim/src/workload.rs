@@ -1,0 +1,153 @@
+//! Open-loop workload generation.
+//!
+//! The paper drives its microservice apps with wrk2, an *open-loop*
+//! generator: requests arrive at a configured rate regardless of how the
+//! system responds (so saturation shows up as latency, not as reduced
+//! load). A [`Schedule`] is a base rate plus windows of extra rate; a
+//! [`Workload`] maps each entry service to a schedule.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A rate window: extra requests/second during `[start_tick, end_tick)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateWindow {
+    /// First tick of the window (inclusive).
+    pub start_tick: u64,
+    /// One past the last tick (exclusive).
+    pub end_tick: u64,
+    /// Added requests per second during the window.
+    pub extra_rps: f64,
+}
+
+/// An open-loop request schedule for one client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Baseline requests per second.
+    pub base_rps: f64,
+    /// Relative jitter (std dev as a fraction of the rate).
+    pub jitter: f64,
+    /// Slow sinusoidal modulation amplitude (fraction of base) — makes
+    /// training data informative rather than flat.
+    pub modulation: f64,
+    /// Extra-rate windows (spikes).
+    pub windows: Vec<RateWindow>,
+}
+
+impl Schedule {
+    /// Constant rate with mild jitter and modulation.
+    pub fn steady(base_rps: f64) -> Self {
+        Self {
+            base_rps,
+            jitter: 0.05,
+            modulation: 0.3,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Add a spike window.
+    pub fn with_spike(mut self, start_tick: u64, end_tick: u64, extra_rps: f64) -> Self {
+        self.windows.push(RateWindow {
+            start_tick,
+            end_tick,
+            extra_rps,
+        });
+        self
+    }
+
+    /// The deterministic (pre-jitter) rate at a tick.
+    pub fn mean_rate(&self, tick: u64) -> f64 {
+        let mut rate = self.base_rps * (1.0 + self.modulation * ((tick as f64) * 0.13).sin());
+        for w in &self.windows {
+            if tick >= w.start_tick && tick < w.end_tick {
+                rate += w.extra_rps;
+            }
+        }
+        rate.max(0.0)
+    }
+
+    /// Sampled rate at a tick (mean rate + Gaussian jitter).
+    pub fn rate_at<R: Rng>(&self, tick: u64, rng: &mut R) -> f64 {
+        let mean = self.mean_rate(tick);
+        let noise = murphy_learn::model::gaussian(rng) * self.jitter * self.base_rps;
+        (mean + noise).max(0.0)
+    }
+}
+
+/// A workload: one schedule per entry-service index.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// `(entry_service_index, schedule)` pairs.
+    pub clients: Vec<(usize, Schedule)>,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a client driving an entry service.
+    pub fn with_client(mut self, entry: usize, schedule: Schedule) -> Self {
+        self.clients.push((entry, schedule));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steady_schedule_hovers_around_base() {
+        let s = Schedule::steady(100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rates: Vec<f64> = (0..200).map(|t| s.rate_at(t, &mut rng)).collect();
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!((mean - 100.0).abs() < 15.0, "mean = {mean}");
+        assert!(rates.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn spike_window_raises_rate_only_inside() {
+        let s = Schedule::steady(50.0).with_spike(100, 120, 500.0);
+        assert!(s.mean_rate(99) < 100.0);
+        assert!(s.mean_rate(100) > 400.0);
+        assert!(s.mean_rate(119) > 400.0);
+        assert!(s.mean_rate(120) < 100.0);
+    }
+
+    #[test]
+    fn overlapping_spikes_accumulate() {
+        let s = Schedule::steady(10.0)
+            .with_spike(0, 10, 100.0)
+            .with_spike(5, 15, 100.0);
+        assert!(s.mean_rate(7) > 200.0);
+        assert!(s.mean_rate(2) < 150.0);
+    }
+
+    #[test]
+    fn rate_never_negative() {
+        let s = Schedule {
+            base_rps: 1.0,
+            jitter: 10.0, // absurd jitter
+            modulation: 0.0,
+            windows: vec![],
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for t in 0..100 {
+            assert!(s.rate_at(t, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn workload_builder() {
+        let w = Workload::new()
+            .with_client(0, Schedule::steady(10.0))
+            .with_client(1, Schedule::steady(20.0));
+        assert_eq!(w.clients.len(), 2);
+        assert_eq!(w.clients[1].0, 1);
+    }
+}

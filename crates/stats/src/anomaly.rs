@@ -1,0 +1,133 @@
+//! Z-score anomaly scoring.
+//!
+//! Murphy ranks root-cause entities by "how many standard deviations away
+//! a metric is from its historical mean value", taking an entity's score to
+//! be that of its most anomalous metric (§4.2, "Ranking the root causes").
+
+use crate::summary::Summary;
+
+/// Minimum standard deviation used when a metric's history is constant.
+///
+/// Without a floor, a metric that was exactly constant in the training
+/// window and moved at all during the incident would get an infinite score
+/// and always dominate the ranking; the paper's production data never has
+/// perfectly constant series, but synthetic traces can.
+pub const STD_FLOOR: f64 = 1e-9;
+
+/// Absolute z-score of `current` against the history `past`.
+///
+/// Returns 0.0 if `past` has fewer than two points (no basis for anomaly).
+pub fn anomaly_score(past: &[f64], current: f64) -> f64 {
+    let s = Summary::of(past);
+    if s.count < 2 || !current.is_finite() {
+        return 0.0;
+    }
+    ((current - s.mean) / s.std_dev_floored(STD_FLOOR)).abs()
+}
+
+/// Scores a set of metrics for one entity and keeps the maximum.
+///
+/// Usage: call [`AnomalyScorer::observe`] once per metric, then read
+/// [`AnomalyScorer::entity_score`]. Mirrors the paper's "score of its most
+/// anomalous metric".
+#[derive(Debug, Clone, Default)]
+pub struct AnomalyScorer {
+    best: Option<(usize, f64)>,
+    next_index: usize,
+}
+
+impl AnomalyScorer {
+    /// Create an empty scorer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one metric's history and current value; metrics are indexed
+    /// in call order. Returns this metric's score.
+    pub fn observe(&mut self, past: &[f64], current: f64) -> f64 {
+        let score = anomaly_score(past, current);
+        let idx = self.next_index;
+        self.next_index += 1;
+        match self.best {
+            Some((_, s)) if s >= score => {}
+            _ => self.best = Some((idx, score)),
+        }
+        score
+    }
+
+    /// Highest metric score observed so far (0.0 if none).
+    pub fn entity_score(&self) -> f64 {
+        self.best.map(|(_, s)| s).unwrap_or(0.0)
+    }
+
+    /// Index (call order) of the most anomalous metric, if any.
+    pub fn most_anomalous_metric(&self) -> Option<usize> {
+        self.best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_counts_standard_deviations() {
+        // mean 0, sample std 1 -> current 3.0 is 3 sigma.
+        let past = [-1.0, 1.0, -1.0, 1.0, -1.0, 1.0];
+        let s = Summary::of(&past);
+        let z = anomaly_score(&past, 3.0);
+        assert!((z - 3.0 / s.std_dev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_for_low_and_high() {
+        let past = [10.0, 12.0, 11.0, 9.0, 10.5];
+        let up = anomaly_score(&past, 21.0);
+        let down = anomaly_score(&past, 0.9);
+        assert!(up > 0.0 && down > 0.0);
+        // |21 - 10.5| > |0.9 - 10.5| so up dominates.
+        assert!(up > down);
+        // Equidistant deviations score identically.
+        let a = anomaly_score(&past, 10.5 + 4.0);
+        let b = anomaly_score(&past, 10.5 - 4.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_history_uses_floor_not_infinity() {
+        let past = [5.0; 10];
+        let z = anomaly_score(&past, 6.0);
+        assert!(z.is_finite());
+        assert!(z > 1e6); // very anomalous, but finite
+    }
+
+    #[test]
+    fn insufficient_history_scores_zero() {
+        assert_eq!(anomaly_score(&[], 1.0), 0.0);
+        assert_eq!(anomaly_score(&[1.0], 5.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_current_scores_zero() {
+        let past = [1.0, 2.0, 3.0];
+        assert_eq!(anomaly_score(&past, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn scorer_keeps_max_and_metric_index() {
+        let mut sc = AnomalyScorer::new();
+        let past = [0.0, 2.0, 0.0, 2.0];
+        sc.observe(&past, 1.0); // ~0 sigma (at mean)
+        sc.observe(&past, 10.0); // large
+        sc.observe(&past, 3.0); // moderate
+        assert_eq!(sc.most_anomalous_metric(), Some(1));
+        assert!(sc.entity_score() > anomaly_score(&past, 3.0));
+    }
+
+    #[test]
+    fn empty_scorer_is_zero() {
+        let sc = AnomalyScorer::new();
+        assert_eq!(sc.entity_score(), 0.0);
+        assert_eq!(sc.most_anomalous_metric(), None);
+    }
+}

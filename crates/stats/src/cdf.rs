@@ -1,0 +1,134 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used to report the Figure 8a model-selection study (CDF of MASE across
+//! entities) and by tests that assert distributional shapes of simulated
+//! metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts the (finite) samples once; evaluation is a binary
+/// search. Quantiles use the nearest-rank definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample, dropping non-finite values.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no finite samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0.0 for an empty CDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // Index of the first element strictly greater than x.
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Nearest-rank quantile, `q` in [0, 1]. Returns None when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Median, if non-empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Evaluate the CDF at each of `points`, producing `(x, P(X<=x))` pairs
+    /// — the series plotted in the paper's Figure 8a.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+
+    /// Smallest and largest samples, if any.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        match (self.sorted.first(), self.sorted.last()) {
+            (Some(&a), Some(&b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_function() {
+        let cdf = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let cdf = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+        assert_eq!(cdf.quantile(0.2), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(30.0));
+        assert_eq!(cdf.quantile(1.0), Some(50.0));
+        assert_eq!(cdf.median(), Some(30.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Ecdf::new(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.range(), None);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let cdf = Ecdf::new(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.range(), Some((1.0, 2.0)));
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let cdf = Ecdf::new(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let pts: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let series = cdf.series(&pts);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let cdf = Ecdf::new(&[5.0, 1.0, 3.0]);
+        assert_eq!(cdf.eval(1.0), 1.0 / 3.0);
+        assert_eq!(cdf.eval(4.9), 2.0 / 3.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Pearson correlation.
+//!
+//! Correlation shows up in three places in the paper:
+//!
+//! * Murphy's feature selection picks the top-B neighbor metrics by
+//!   absolute correlation with the target metric (§4.2 "Model training"),
+//! * ExplainIt ranks candidates purely by pairwise correlation (§2.3),
+//! * NetMedic derives edge weights from correlation of neighbor states.
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns 0.0 (no evidence of association) when the inputs are shorter
+/// than two points, have mismatched lengths after filtering, or when either
+/// side is constant — all three happen routinely with degraded telemetry
+/// (Table 2), and treating them as "no correlation" is what keeps the
+/// pipelines total.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut m = 0usize;
+    for i in 0..n {
+        if xs[i].is_finite() && ys[i].is_finite() {
+            sx += xs[i];
+            sy += ys[i];
+            m += 1;
+        }
+    }
+    if m < 2 {
+        return 0.0;
+    }
+    let mx = sx / m as f64;
+    let my = sy / m as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        if xs[i].is_finite() && ys[i].is_finite() {
+            let dx = xs[i] - mx;
+            let dy = ys[i] - my;
+            sxy += dx * dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+        }
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    let r = sxy / (sxx.sqrt() * syy.sqrt());
+    r.clamp(-1.0, 1.0)
+}
+
+/// Full correlation matrix of a set of series (rows of `series`).
+///
+/// `out[i][j] == pearson(series[i], series[j])`; the diagonal is 1.0 for
+/// non-constant series and 0.0 for constant ones (consistent with
+/// [`pearson`]'s degenerate-input convention).
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = series.len();
+    let mut out = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in i..k {
+            let r = pearson(&series[i], &series[j]);
+            out[i][j] = r;
+            out[j][i] = r;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_yields_zero() {
+        let xs = [5.0, 5.0, 5.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+        assert_eq!(pearson(&ys, &xs), 0.0);
+    }
+
+    #[test]
+    fn short_input_yields_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn nan_pairs_are_skipped() {
+        let xs = [1.0, f64::NAN, 3.0, 4.0];
+        let ys = [2.0, 100.0, 6.0, 8.0];
+        // NaN pair dropped, remainder is perfectly linear.
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // Anscombe-like small sample with a hand-computed r.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let r = pearson(&xs, &ys);
+        assert!((r - 0.8).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0, 4.0],
+        ];
+        let m = correlation_matrix(&series);
+        for i in 0..3 {
+            assert!((m[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Statistics substrate for the Murphy reproduction.
+//!
+//! Murphy's inference pipeline ([SIGCOMM 2023]) leans on a handful of
+//! classical statistics:
+//!
+//! * descriptive summaries of metric time series ([`summary`]),
+//! * Pearson correlation for feature selection and for the ExplainIt /
+//!   NetMedic baselines ([`correlation`]),
+//! * Welch's t-test to decide whether counterfactual samples `d1` differ
+//!   significantly from factual samples `d2` ([`ttest`]),
+//! * z-score anomaly scoring used to rank root-cause candidates
+//!   ([`anomaly`]),
+//! * MASE prediction error used in the model-selection study, Figure 8a
+//!   ([`mase()`](mase::mase)), and
+//! * empirical CDFs used to report that study ([`cdf`]).
+//!
+//! Everything here is implemented from scratch on `f64` slices — no
+//! external linear-algebra or statistics crates — and is deliberately
+//! small, allocation-light, and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod cdf;
+pub mod correlation;
+pub mod mase;
+pub mod summary;
+pub mod ttest;
+
+pub use anomaly::{anomaly_score, AnomalyScorer};
+pub use cdf::Ecdf;
+pub use correlation::{correlation_matrix, pearson};
+pub use mase::{mae, mase};
+pub use summary::{OnlineStats, Summary};
+pub use ttest::{welch_t_test, TTestResult};

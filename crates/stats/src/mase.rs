@@ -1,0 +1,121 @@
+//! Prediction-error measures for the model-selection study (Figure 8a).
+//!
+//! The paper compares four metric-prediction models on ~17K entities and
+//! reports the CDF of "MASE error" across entities. MASE (Mean Absolute
+//! Scaled Error) normalizes a model's mean absolute error by the MAE of the
+//! one-step naive forecast on the training series, making the error
+//! comparable across metrics with wildly different scales (CPU %, bytes/s,
+//! session counts, ...).
+
+/// Mean absolute error between predictions and truths.
+///
+/// Non-finite pairs are skipped; returns 0.0 when nothing is comparable.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    let n = pred.len().min(truth.len());
+    let mut sum = 0.0;
+    let mut m = 0usize;
+    for i in 0..n {
+        if pred[i].is_finite() && truth[i].is_finite() {
+            sum += (pred[i] - truth[i]).abs();
+            m += 1;
+        }
+    }
+    if m == 0 {
+        0.0
+    } else {
+        sum / m as f64
+    }
+}
+
+/// Mean Absolute Scaled Error.
+///
+/// `mase = mae(pred, truth) / naive_mae(train)` where the naive forecast
+/// predicts each training point from its predecessor. If the training
+/// series is constant (naive MAE 0) the scale collapses; we return the raw
+/// MAE scaled by a tiny floor instead of dividing by zero, which keeps
+/// constant-series entities at the extreme of the CDF as in the paper's
+/// long-tailed Figure 8a axis (errors span 2^1..2^15).
+pub fn mase(pred: &[f64], truth: &[f64], train: &[f64]) -> f64 {
+    let e = mae(pred, truth);
+    let scale = naive_mae(train);
+    if scale <= f64::EPSILON {
+        if e <= f64::EPSILON {
+            0.0
+        } else {
+            e / 1e-6
+        }
+    } else {
+        e / scale
+    }
+}
+
+/// MAE of the one-step naive forecast on a series.
+pub fn naive_mae(series: &[f64]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut m = 0usize;
+    for w in series.windows(2) {
+        if w[0].is_finite() && w[1].is_finite() {
+            sum += (w[1] - w[0]).abs();
+            m += 1;
+        }
+    }
+    if m == 0 {
+        0.0
+    } else {
+        sum / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_of_exact_predictions_is_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [2.0, 2.0, 1.0];
+        assert!((mae(&pred, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_mae_known_value() {
+        // |2-1| + |4-2| + |1-4| = 6, over 3 steps = 2.
+        let xs = [1.0, 2.0, 4.0, 1.0];
+        assert!((naive_mae(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mase_of_naive_equivalent_model_is_one() {
+        // Model whose MAE equals naive MAE on the training data scores 1.0.
+        let train = [0.0, 1.0, 0.0, 1.0]; // naive MAE = 1
+        let pred = [5.0, 5.0];
+        let truth = [6.0, 4.0]; // MAE = 1
+        assert!((mase(&pred, &truth, &train) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_training_series_does_not_divide_by_zero() {
+        let train = [3.0; 10];
+        let v = mase(&[3.0, 3.0], &[4.0, 2.0], &train);
+        assert!(v.is_finite());
+        assert!(v > 1.0); // pushed to the tail of the CDF
+        // Exact prediction on constant series is genuinely zero error.
+        assert_eq!(mase(&[3.0], &[3.0], &train), 0.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let pred = [1.0, f64::NAN, 3.0];
+        let truth = [1.0, 100.0, 4.0];
+        assert!((mae(&pred, &truth) - 0.5).abs() < 1e-12);
+    }
+}

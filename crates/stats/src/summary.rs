@@ -1,0 +1,249 @@
+//! Descriptive summaries of metric samples.
+//!
+//! A [`Summary`] is a one-shot computation over a slice; [`OnlineStats`]
+//! is a Welford-style accumulator used where samples arrive one at a time
+//! (e.g. while streaming a simulated trace).
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample.
+///
+/// Constructed with [`Summary::of`]. Empty input yields a summary with
+/// `count == 0` and NaN-free zero defaults so callers can branch on
+/// `count` rather than on NaN propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Unbiased sample variance (0.0 when fewer than 2 samples).
+    pub variance: f64,
+    /// Sample standard deviation (sqrt of `variance`).
+    pub std_dev: f64,
+    /// Minimum (0.0 when empty).
+    pub min: f64,
+    /// Maximum (0.0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `xs`, ignoring non-finite values.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut acc = OnlineStats::new();
+        for &x in xs {
+            if x.is_finite() {
+                acc.push(x);
+            }
+        }
+        acc.summary()
+    }
+
+    /// Standard deviation floored away from zero.
+    ///
+    /// Several Murphy subroutines divide by a standard deviation (z-scores,
+    /// counterfactual offsets of "2 standard deviations"). A constant metric
+    /// has zero deviation; flooring keeps those computations defined without
+    /// special-casing every call site.
+    pub fn std_dev_floored(&self, floor: f64) -> f64 {
+        if self.std_dev > floor {
+            self.std_dev
+        } else {
+            floor
+        }
+    }
+}
+
+/// Welford online mean/variance accumulator with min/max tracking.
+///
+/// Numerically stable for long streams; used by the simulator's metric
+/// collectors and by training-window preprocessing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample. Non-finite samples are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of accepted samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Current mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0.0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Snapshot as a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            variance: self.variance(),
+            std_dev: self.std_dev(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn known_variance() {
+        // Sample variance of 2,4,4,4,5,5,7,9 is 32/7.
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_close(s.mean, 5.0, 1e-12);
+        assert_close(s.variance, 32.0 / 7.0, 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_close(s.mean, 2.0, 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_batch() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        let merged = a.summary();
+        let batch = Summary::of(&xs);
+        assert_close(merged.mean, batch.mean, 1e-10);
+        assert_close(merged.variance, batch.variance, 1e-10);
+        assert_eq!(merged.count, batch.count);
+        assert_eq!(merged.min, batch.min);
+        assert_eq!(merged.max, batch.max);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.summary();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.summary(), before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.summary(), before);
+    }
+
+    #[test]
+    fn std_dev_floored() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_dev_floored(1e-6), 1e-6);
+        let s2 = Summary::of(&[0.0, 10.0]);
+        assert!(s2.std_dev_floored(1e-6) > 1.0);
+    }
+}

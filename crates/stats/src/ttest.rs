@@ -1,0 +1,331 @@
+//! Welch's unequal-variance t-test.
+//!
+//! Murphy's counterfactual decision (§4.2, step 4) compares 5,000 resampled
+//! values of the problematic metric under the counterfactual (`d1`) against
+//! 5,000 under the factual value (`d2`), and declares the candidate a root
+//! cause when the `d1` samples are *significantly lower* than the `d2`
+//! samples. We implement Welch's t-test with a one-sided p-value computed
+//! through the regularized incomplete beta function (continued-fraction
+//! evaluation, Lentz's algorithm) — no lookup tables, valid for the large
+//! and the small sample counts used in tests.
+
+use crate::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a Welch t-test comparing sample `a` against sample `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// Welch t statistic, `(mean_a - mean_b) / pooled_se`.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for the alternative `mean_a < mean_b`.
+    pub p_less: f64,
+    /// One-sided p-value for the alternative `mean_a > mean_b`.
+    pub p_greater: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// Difference of means `mean_a - mean_b`.
+    pub mean_diff: f64,
+}
+
+impl TTestResult {
+    /// True when `a`'s mean is significantly below `b`'s at level `alpha`.
+    pub fn significantly_less(&self, alpha: f64) -> bool {
+        self.p_less < alpha
+    }
+
+    /// True when `a`'s mean is significantly above `b`'s at level `alpha`.
+    pub fn significantly_greater(&self, alpha: f64) -> bool {
+        self.p_greater < alpha
+    }
+}
+
+/// Welch's two-sample t-test.
+///
+/// Degenerate inputs (fewer than 2 samples on either side, or both sides
+/// with zero variance) return a neutral result with p-values of 0.5/1.0 so
+/// the caller's significance checks fail closed: identical constant samples
+/// are never "significant", and a constant-vs-constant difference in means
+/// with zero variance is treated as decisive only through the means.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    let sa = Summary::of(a);
+    let sb = Summary::of(b);
+    let mean_diff = sa.mean - sb.mean;
+    if sa.count < 2 || sb.count < 2 {
+        return neutral(mean_diff);
+    }
+    let va = sa.variance / sa.count as f64;
+    let vb = sb.variance / sb.count as f64;
+    let se2 = va + vb;
+    if se2 <= 0.0 {
+        // Zero variance on both sides: significance is decided by whether
+        // the means differ at all.
+        if mean_diff == 0.0 {
+            return neutral(0.0);
+        }
+        let (p_less, p_greater) = if mean_diff < 0.0 { (0.0, 1.0) } else { (1.0, 0.0) };
+        return TTestResult {
+            t: if mean_diff < 0.0 { f64::NEG_INFINITY } else { f64::INFINITY },
+            df: (sa.count + sb.count - 2) as f64,
+            p_less,
+            p_greater,
+            p_two_sided: 0.0,
+            mean_diff,
+        };
+    }
+    let t = mean_diff / se2.sqrt();
+    // Welch–Satterthwaite.
+    let df = se2 * se2
+        / (va * va / (sa.count as f64 - 1.0) + vb * vb / (sb.count as f64 - 1.0));
+    let p_greater = student_t_sf(t, df);
+    let p_less = student_t_sf(-t, df);
+    let p_two_sided = (2.0 * p_greater.min(p_less)).min(1.0);
+    TTestResult {
+        t,
+        df,
+        p_less,
+        p_greater,
+        p_two_sided,
+        mean_diff,
+    }
+}
+
+fn neutral(mean_diff: f64) -> TTestResult {
+    TTestResult {
+        t: 0.0,
+        df: 0.0,
+        p_less: 0.5,
+        p_greater: 0.5,
+        p_two_sided: 1.0,
+        mean_diff,
+    }
+}
+
+/// Survival function `P(T > t)` of Student's t-distribution with `df`
+/// degrees of freedom.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return if t > 0.0 { 0.0 } else { 1.0 };
+    }
+    if df <= 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    // P(|T| > t) = I_x(df/2, 1/2); split by sign for the one-sided value.
+    let p_both = regularized_incomplete_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        0.5 * p_both
+    } else {
+        1.0 - 0.5 * p_both
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's method), with the usual symmetry switch for
+/// convergence.
+fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (Numerical-Recipes
+/// style modified Lentz iteration).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+        assert_close(ln_gamma(2.0), 0.0, 1e-10);
+        assert_close(ln_gamma(5.0), 24.0f64.ln(), 1e-10);
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (10.0, 1.5, 0.9)] {
+            let lhs = regularized_incomplete_beta(a, b, x);
+            let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
+            assert_close(lhs, rhs, 1e-10);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x for the uniform distribution.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert_close(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_sf_symmetry_and_midpoint() {
+        assert_close(student_t_sf(0.0, 10.0), 0.5, 1e-10);
+        let p = student_t_sf(1.5, 7.0);
+        let q = student_t_sf(-1.5, 7.0);
+        assert_close(p + q, 1.0, 1e-10);
+        assert!(p < 0.5);
+    }
+
+    #[test]
+    fn student_t_sf_reference_values() {
+        // Reference values from standard t tables.
+        // P(T > 2.228) with df=10 ≈ 0.025.
+        assert_close(student_t_sf(2.228, 10.0), 0.025, 1e-3);
+        // P(T > 1.645) with very large df approaches the normal ≈ 0.05.
+        assert_close(student_t_sf(1.6449, 100000.0), 0.05, 5e-4);
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a: Vec<f64> = (0..200).map(|i| 1.0 + 0.01 * (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 5.0 + 0.01 * (i % 5) as f64).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.significantly_less(0.01));
+        assert!(!r.significantly_greater(0.01));
+        assert!(r.mean_diff < -3.0);
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin()).collect();
+        let r = welch_t_test(&a, &a);
+        assert!(!r.significantly_less(0.05));
+        assert!(!r.significantly_greater(0.05));
+        assert_close(r.t, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_fail_closed() {
+        let r = welch_t_test(&[1.0], &[2.0, 3.0]);
+        assert!(!r.significantly_less(0.05));
+        let r = welch_t_test(&[], &[]);
+        assert!(!r.significantly_less(0.05));
+    }
+
+    #[test]
+    fn zero_variance_differing_means_is_decisive() {
+        let a = [1.0, 1.0, 1.0, 1.0];
+        let b = [2.0, 2.0, 2.0, 2.0];
+        let r = welch_t_test(&a, &b);
+        assert!(r.significantly_less(0.05));
+        assert!(!r.significantly_greater(0.05));
+    }
+
+    #[test]
+    fn welch_exact_small_example() {
+        // a = {3,4,5}, b = {6,7,8}: means 4 and 7, variances 1 and 1.
+        // se^2 = 1/3 + 1/3 = 2/3, t = -3 / sqrt(2/3), df = (2/3)^2 / (2*(1/9)/2) = 4.
+        let a = [3.0, 4.0, 5.0];
+        let b = [6.0, 7.0, 8.0];
+        let r = welch_t_test(&a, &b);
+        assert_close(r.t, -3.0 / (2.0f64 / 3.0).sqrt(), 1e-12);
+        assert_close(r.df, 4.0, 1e-12);
+        assert!(r.significantly_less(0.05));
+        assert!(!r.significantly_greater(0.05));
+        // p-values for the two alternatives sum to 1.
+        assert_close(r.p_less + r.p_greater, 1.0, 1e-10);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the statistics substrate.
+
+use murphy_stats::{anomaly_score, mae, mase, pearson, welch_t_test, Ecdf, OnlineStats, Summary};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn summary_mean_is_bounded_by_min_max(xs in finite_vec(64)) {
+        let s = Summary::of(&xs);
+        if s.count > 0 {
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.variance >= 0.0);
+            prop_assert!((s.std_dev * s.std_dev - s.variance).abs() <= 1e-6 * (1.0 + s.variance));
+        }
+    }
+
+    #[test]
+    fn online_merge_equals_batch(xs in finite_vec(64), split in 0usize..64) {
+        let split = split.min(xs.len());
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        let merged = a.summary();
+        let batch = Summary::of(&xs);
+        prop_assert_eq!(merged.count, batch.count);
+        if batch.count > 0 {
+            prop_assert!((merged.mean - batch.mean).abs() <= 1e-6 * (1.0 + batch.mean.abs()));
+            prop_assert!((merged.variance - batch.variance).abs() <= 1e-4 * (1.0 + batch.variance));
+        }
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(xs in finite_vec(32), ys in finite_vec(32)) {
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((r - pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_linear_invariance(xs in proptest::collection::vec(-1e3f64..1e3, 3..32),
+                                 a in 0.1f64..10.0, b in -100.0f64..100.0) {
+        // Correlation is invariant under positive affine maps.
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+        let zs: Vec<f64> = xs.iter().map(|&x| x * 2.0 + 1.0).collect();
+        let r1 = pearson(&xs, &zs);
+        let r2 = pearson(&ys, &zs);
+        prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn welch_p_values_are_probabilities(a in finite_vec(40), b in finite_vec(40)) {
+        let r = welch_t_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_less));
+        prop_assert!((0.0..=1.0).contains(&r.p_greater));
+        prop_assert!((0.0..=1.0).contains(&r.p_two_sided));
+        // One-sided p-values are complementary (within numeric tolerance)
+        // when the statistic is finite.
+        if r.t.is_finite() && r.df > 0.0 {
+            prop_assert!((r.p_less + r.p_greater - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn welch_is_antisymmetric(a in proptest::collection::vec(-1e3f64..1e3, 2..32),
+                              b in proptest::collection::vec(-1e3f64..1e3, 2..32)) {
+        let ab = welch_t_test(&a, &b);
+        let ba = welch_t_test(&b, &a);
+        prop_assert!((ab.p_less - ba.p_greater).abs() < 1e-9);
+        prop_assert!((ab.t + ba.t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_is_nonnegative_and_zero_on_self(xs in finite_vec(32)) {
+        prop_assert!(mae(&xs, &xs) <= 1e-12);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        if !xs.is_empty() {
+            prop_assert!((mae(&xs, &shifted) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mase_is_nonnegative(pred in finite_vec(16), truth in finite_vec(16), train in finite_vec(32)) {
+        prop_assert!(mase(&pred, &truth, &train) >= 0.0);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_normalized(xs in finite_vec(64)) {
+        let cdf = Ecdf::new(&xs);
+        if cdf.is_empty() { return Ok(()); }
+        let (lo, hi) = cdf.range().unwrap();
+        prop_assert_eq!(cdf.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(cdf.eval(hi), 1.0);
+        let probe: Vec<f64> = (0..=10).map(|i| lo + (hi - lo) * i as f64 / 10.0).collect();
+        let series = cdf.series(&probe);
+        for w in series.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ecdf_quantiles_are_samples(xs in proptest::collection::vec(-1e4f64..1e4, 1..64),
+                                  q in 0.0f64..1.0) {
+        let cdf = Ecdf::new(&xs);
+        let v = cdf.quantile(q).unwrap();
+        prop_assert!(xs.iter().any(|&x| (x - v).abs() < 1e-12));
+    }
+
+    #[test]
+    fn anomaly_score_scale_invariance(past in proptest::collection::vec(-1e3f64..1e3, 4..32),
+                                      current in -1e3f64..1e3,
+                                      scale in 0.5f64..5.0) {
+        // z-scores are invariant under positive affine transforms.
+        let z1 = anomaly_score(&past, current);
+        let scaled: Vec<f64> = past.iter().map(|&x| x * scale + 7.0).collect();
+        let z2 = anomaly_score(&scaled, current * scale + 7.0);
+        // Degenerate constant histories hit the floor, skip those.
+        let s = Summary::of(&past);
+        if s.std_dev > 1e-6 {
+            prop_assert!((z1 - z2).abs() < 1e-6 * (1.0 + z1.abs()), "{z1} vs {z2}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Associations: the loose "neighborhood" relationships between entities.
+//!
+//! §4.1 of the paper: edges of the relationship graph come from simple
+//! predefined neighborhood relations extractable from monitoring metadata —
+//! a flow has edges to its source/destination VM, a VM to its host and NIC,
+//! a microservice to its container, and so on.
+//!
+//! Most associations carry **no** direction knowledge (the platform cannot
+//! discern influence direction, §2.2), so they expand into directed edges
+//! both ways. When a direction *is* known (e.g. caller→callee microservice
+//! edges from traces), it is recorded and expands into a single edge.
+
+use crate::entity::EntityId;
+use serde::{Deserialize, Serialize};
+
+/// Direction knowledge attached to an association between `a` and `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Directionality {
+    /// Influence direction unknown — expand to edges a→b and b→a.
+    /// This is the conservative default of §4.1.
+    Both,
+    /// Known influence a→b only (e.g. caller → callee).
+    AToB,
+    /// Known influence b→a only.
+    BToA,
+}
+
+/// The semantic kind of an association, used for explanation phrasing and
+/// by the degradation operators (Table 2 removes specific kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssociationKind {
+    /// VM (or container) `a` runs on host `b`.
+    RunsOn,
+    /// VM `a` owns virtual NIC `b`; host `a` owns physical NIC `b`.
+    HasNic,
+    /// Flow `a` originates at entity `b`.
+    FlowSource,
+    /// Flow `a` terminates at entity `b`.
+    FlowDestination,
+    /// Service `a` resides on container `b`.
+    ServiceOnContainer,
+    /// Service `a` calls service `b` (from traces; direction known).
+    ServiceCall,
+    /// NIC `a` is attached to switch interface `b`.
+    AttachedToPort,
+    /// Switch interface `a` belongs to switch `b`.
+    PortOnSwitch,
+    /// VM `a` is backed by datastore `b`.
+    BackedBy,
+    /// Client `a` sends requests to service/VM `b`.
+    ClientOf,
+    /// Application-defined or discovered relation with no specific type.
+    Related,
+}
+
+impl AssociationKind {
+    /// Verb phrase used when describing the relation `a <verb> b`.
+    pub fn verb(self) -> &'static str {
+        match self {
+            AssociationKind::RunsOn => "runs on",
+            AssociationKind::HasNic => "has NIC",
+            AssociationKind::FlowSource => "originates at",
+            AssociationKind::FlowDestination => "terminates at",
+            AssociationKind::ServiceOnContainer => "resides on",
+            AssociationKind::ServiceCall => "calls",
+            AssociationKind::AttachedToPort => "is attached to",
+            AssociationKind::PortOnSwitch => "belongs to",
+            AssociationKind::BackedBy => "is backed by",
+            AssociationKind::ClientOf => "sends requests to",
+            AssociationKind::Related => "is related to",
+        }
+    }
+}
+
+/// An association between two entities from monitoring metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Association {
+    /// First endpoint.
+    pub a: EntityId,
+    /// Second endpoint.
+    pub b: EntityId,
+    /// Semantic kind.
+    pub kind: AssociationKind,
+    /// Direction knowledge.
+    pub direction: Directionality,
+}
+
+impl Association {
+    /// Undirected association (the conservative default).
+    pub fn undirected(a: EntityId, b: EntityId, kind: AssociationKind) -> Self {
+        Self {
+            a,
+            b,
+            kind,
+            direction: Directionality::Both,
+        }
+    }
+
+    /// Directed association `a → b` (known influence direction).
+    pub fn directed(a: EntityId, b: EntityId, kind: AssociationKind) -> Self {
+        Self {
+            a,
+            b,
+            kind,
+            direction: Directionality::AToB,
+        }
+    }
+
+    /// Does this association touch `e`?
+    pub fn touches(&self, e: EntityId) -> bool {
+        self.a == e || self.b == e
+    }
+
+    /// The endpoint opposite `e`, if `e` is an endpoint.
+    pub fn other(&self, e: EntityId) -> Option<EntityId> {
+        if self.a == e {
+            Some(self.b)
+        } else if self.b == e {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Directed edges implied by this association, per §4.1: both ways for
+    /// [`Directionality::Both`], one way otherwise.
+    pub fn directed_edges(&self) -> impl Iterator<Item = (EntityId, EntityId)> {
+        let edges: [Option<(EntityId, EntityId)>; 2] = match self.direction {
+            Directionality::Both => [Some((self.a, self.b)), Some((self.b, self.a))],
+            Directionality::AToB => [Some((self.a, self.b)), None],
+            Directionality::BToA => [Some((self.b, self.a)), None],
+        };
+        edges.into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E1: EntityId = EntityId(1);
+    const E2: EntityId = EntityId(2);
+    const E3: EntityId = EntityId(3);
+
+    #[test]
+    fn undirected_expands_to_two_edges() {
+        let assoc = Association::undirected(E1, E2, AssociationKind::RunsOn);
+        let edges: Vec<_> = assoc.directed_edges().collect();
+        assert_eq!(edges, vec![(E1, E2), (E2, E1)]);
+    }
+
+    #[test]
+    fn directed_expands_to_one_edge() {
+        let assoc = Association::directed(E1, E2, AssociationKind::ServiceCall);
+        let edges: Vec<_> = assoc.directed_edges().collect();
+        assert_eq!(edges, vec![(E1, E2)]);
+
+        let rev = Association {
+            direction: Directionality::BToA,
+            ..assoc
+        };
+        let edges: Vec<_> = rev.directed_edges().collect();
+        assert_eq!(edges, vec![(E2, E1)]);
+    }
+
+    #[test]
+    fn touches_and_other() {
+        let assoc = Association::undirected(E1, E2, AssociationKind::Related);
+        assert!(assoc.touches(E1));
+        assert!(assoc.touches(E2));
+        assert!(!assoc.touches(E3));
+        assert_eq!(assoc.other(E1), Some(E2));
+        assert_eq!(assoc.other(E2), Some(E1));
+        assert_eq!(assoc.other(E3), None);
+    }
+
+    #[test]
+    fn verbs_are_nonempty() {
+        for kind in [
+            AssociationKind::RunsOn,
+            AssociationKind::HasNic,
+            AssociationKind::FlowSource,
+            AssociationKind::FlowDestination,
+            AssociationKind::ServiceOnContainer,
+            AssociationKind::ServiceCall,
+            AssociationKind::AttachedToPort,
+            AssociationKind::PortOnSwitch,
+            AssociationKind::BackedBy,
+            AssociationKind::ClientOf,
+            AssociationKind::Related,
+        ] {
+            assert!(!kind.verb().is_empty());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Configuration-change tracking.
+//!
+//! §4.2 "Edge cases": *"Murphy also presents all recent configuration
+//! changes to the operator to catch problems caused by recently spawned
+//! VMs."* Monitoring platforms record config events (entity created,
+//! resized, migrated, reconfigured); Murphy doesn't reason about them
+//! probabilistically — it simply surfaces the recent ones next to the
+//! diagnosis so the operator can connect a change to the incident.
+
+use crate::entity::EntityId;
+use serde::{Deserialize, Serialize};
+
+/// The kind of configuration event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// Entity newly created/spawned.
+    Created,
+    /// Entity resized (CPU/memory/disk allocation changed).
+    Resized,
+    /// Entity moved to another host/datastore.
+    Migrated,
+    /// Software or configuration updated.
+    Reconfigured,
+    /// Entity decommissioned.
+    Removed,
+}
+
+impl ChangeKind {
+    /// Human-readable verb for reports.
+    pub fn verb(self) -> &'static str {
+        match self {
+            ChangeKind::Created => "created",
+            ChangeKind::Resized => "resized",
+            ChangeKind::Migrated => "migrated",
+            ChangeKind::Reconfigured => "reconfigured",
+            ChangeKind::Removed => "removed",
+        }
+    }
+}
+
+/// One recorded configuration change.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigChange {
+    /// The entity changed.
+    pub entity: EntityId,
+    /// What happened.
+    pub kind: ChangeKind,
+    /// When (tick index).
+    pub tick: u64,
+    /// Free-form detail ("scaled to 8 vCPU", "moved to host7", ...).
+    pub detail: String,
+}
+
+/// An append-only log of configuration changes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChangeLog {
+    changes: Vec<ConfigChange>,
+}
+
+impl ChangeLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a change.
+    pub fn record(
+        &mut self,
+        entity: EntityId,
+        kind: ChangeKind,
+        tick: u64,
+        detail: impl Into<String>,
+    ) {
+        self.changes.push(ConfigChange {
+            entity,
+            kind,
+            tick,
+            detail: detail.into(),
+        });
+    }
+
+    /// All changes, in insertion order.
+    pub fn all(&self) -> &[ConfigChange] {
+        &self.changes
+    }
+
+    /// Changes at or after `since_tick` — what "recent" means is the
+    /// caller's policy (Murphy uses the diagnosis window).
+    pub fn recent(&self, since_tick: u64) -> Vec<&ConfigChange> {
+        self.changes.iter().filter(|c| c.tick >= since_tick).collect()
+    }
+
+    /// Recent changes touching one of `entities`.
+    pub fn recent_for(&self, since_tick: u64, entities: &[EntityId]) -> Vec<&ConfigChange> {
+        self.recent(since_tick)
+            .into_iter()
+            .filter(|c| entities.contains(&c.entity))
+            .collect()
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when no changes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> ChangeLog {
+        let mut log = ChangeLog::new();
+        log.record(EntityId(1), ChangeKind::Created, 10, "spawned vm-1");
+        log.record(EntityId(2), ChangeKind::Resized, 50, "scaled to 8 vCPU");
+        log.record(EntityId(1), ChangeKind::Migrated, 90, "moved to host7");
+        log
+    }
+
+    #[test]
+    fn recent_filters_by_tick() {
+        let log = log();
+        assert_eq!(log.recent(0).len(), 3);
+        assert_eq!(log.recent(50).len(), 2);
+        assert_eq!(log.recent(91).len(), 0);
+    }
+
+    #[test]
+    fn recent_for_filters_by_entity() {
+        let log = log();
+        let only_1 = log.recent_for(0, &[EntityId(1)]);
+        assert_eq!(only_1.len(), 2);
+        assert!(only_1.iter().all(|c| c.entity == EntityId(1)));
+        assert!(log.recent_for(0, &[EntityId(9)]).is_empty());
+    }
+
+    #[test]
+    fn verbs_cover_all_kinds() {
+        for kind in [
+            ChangeKind::Created,
+            ChangeKind::Resized,
+            ChangeKind::Migrated,
+            ChangeKind::Reconfigured,
+            ChangeKind::Removed,
+        ] {
+            assert!(!kind.verb().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = ChangeLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert!(log.recent(0).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! The in-memory monitoring database.
+//!
+//! [`MonitoringDb`] is the reproduction's stand-in for an enterprise
+//! observability platform (§2.1): it stores entities, their associations,
+//! per-metric time series, and application membership tags ("all VMs of
+//! application foo"). Murphy, the baselines, and the experiment harness
+//! interact with the environment *only* through this API.
+
+use crate::association::{Association, AssociationKind};
+use crate::changes::{ChangeKind, ChangeLog, ConfigChange};
+use crate::entity::{Entity, EntityId, EntityKind};
+use crate::metric::{MetricId, MetricKind};
+use crate::timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Serialize ordered maps with non-string keys as pair sequences, so the
+/// database round-trips through JSON (whose object keys must be strings).
+mod map_as_pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        serializer.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// In-memory monitoring database.
+///
+/// Entity ids are dense (`0..entity_count`), which downstream graph code
+/// exploits for vector indexing; removed entities leave tombstones so ids
+/// stay stable under the Table 2 "missing entity" degradation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MonitoringDb {
+    entities: Vec<Option<Entity>>,
+    associations: Vec<Association>,
+    /// Adjacency index: entity → indices into `associations`. Serialized
+    /// (as pairs — JSON map keys must be strings) so a deserialized
+    /// database is query-ready.
+    #[serde(with = "map_as_pairs")]
+    adjacency: BTreeMap<EntityId, Vec<usize>>,
+    #[serde(with = "map_as_pairs")]
+    series: BTreeMap<MetricId, TimeSeries>,
+    /// Application tag → member entities (operator-defined apps, §2.1).
+    applications: BTreeMap<String, BTreeSet<EntityId>>,
+    /// Default interval for new series, seconds.
+    pub interval_secs: u64,
+    /// Configuration-change log (§4.2 edge cases).
+    changes: ChangeLog,
+}
+
+impl MonitoringDb {
+    /// New empty database with the given metric interval.
+    pub fn new(interval_secs: u64) -> Self {
+        Self {
+            interval_secs,
+            ..Default::default()
+        }
+    }
+
+    // ---- entities -------------------------------------------------------
+
+    /// Register an entity; returns its id.
+    pub fn add_entity(&mut self, kind: EntityKind, name: impl Into<String>) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        self.entities.push(Some(Entity {
+            id,
+            kind,
+            name: name.into(),
+        }));
+        id
+    }
+
+    /// Look up an entity (None if unknown or removed).
+    pub fn entity(&self, id: EntityId) -> Option<&Entity> {
+        self.entities.get(id.index()).and_then(|e| e.as_ref())
+    }
+
+    /// Number of live entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Iterate live entities.
+    pub fn entities(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter().filter_map(|e| e.as_ref())
+    }
+
+    /// Live entities of a given kind.
+    pub fn entities_of_kind(&self, kind: EntityKind) -> Vec<EntityId> {
+        self.entities()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Find an entity by exact name.
+    pub fn entity_by_name(&self, name: &str) -> Option<&Entity> {
+        self.entities().find(|e| e.name == name)
+    }
+
+    /// Remove an entity along with its associations, series, and app tags
+    /// (Table 2 "missing entity"). Ids of other entities are unaffected.
+    pub fn remove_entity(&mut self, id: EntityId) {
+        if let Some(slot) = self.entities.get_mut(id.index()) {
+            *slot = None;
+        }
+        self.associations.retain(|a| !a.touches(id));
+        self.rebuild_adjacency();
+        self.series.retain(|m, _| m.entity != id);
+        for members in self.applications.values_mut() {
+            members.remove(&id);
+        }
+    }
+
+    // ---- associations ---------------------------------------------------
+
+    /// Record an association between two (existing) entities.
+    pub fn add_association(&mut self, assoc: Association) {
+        let idx = self.associations.len();
+        self.associations.push(assoc);
+        self.adjacency.entry(assoc.a).or_default().push(idx);
+        if assoc.b != assoc.a {
+            self.adjacency.entry(assoc.b).or_default().push(idx);
+        }
+    }
+
+    /// Convenience: undirected association.
+    pub fn relate(&mut self, a: EntityId, b: EntityId, kind: AssociationKind) {
+        self.add_association(Association::undirected(a, b, kind));
+    }
+
+    /// Convenience: directed association `a → b`.
+    pub fn relate_directed(&mut self, a: EntityId, b: EntityId, kind: AssociationKind) {
+        self.add_association(Association::directed(a, b, kind));
+    }
+
+    /// All associations.
+    pub fn associations(&self) -> &[Association] {
+        &self.associations
+    }
+
+    /// Associations touching an entity.
+    pub fn associations_of(&self, id: EntityId) -> Vec<&Association> {
+        match self.adjacency.get(&id) {
+            Some(idxs) => idxs.iter().map(|&i| &self.associations[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Distinct neighbor entities of `id` (either direction).
+    pub fn neighbors(&self, id: EntityId) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = self
+            .associations_of(id)
+            .iter()
+            .filter_map(|a| a.other(id))
+            .filter(|&n| n != id)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Remove one specific association (Table 2 "missing edge"). Returns
+    /// true if an association between the endpoints with that kind existed.
+    pub fn remove_association(&mut self, a: EntityId, b: EntityId, kind: AssociationKind) -> bool {
+        let before = self.associations.len();
+        self.associations.retain(|x| {
+            !(x.kind == kind && ((x.a == a && x.b == b) || (x.a == b && x.b == a)))
+        });
+        let removed = self.associations.len() != before;
+        if removed {
+            self.rebuild_adjacency();
+        }
+        removed
+    }
+
+    /// Remove the association at a given index (used by randomized
+    /// degradation). Returns the removed association.
+    pub fn remove_association_at(&mut self, index: usize) -> Option<Association> {
+        if index >= self.associations.len() {
+            return None;
+        }
+        let removed = self.associations.remove(index);
+        self.rebuild_adjacency();
+        Some(removed)
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        self.adjacency.clear();
+        for (idx, assoc) in self.associations.iter().enumerate() {
+            self.adjacency.entry(assoc.a).or_default().push(idx);
+            if assoc.b != assoc.a {
+                self.adjacency.entry(assoc.b).or_default().push(idx);
+            }
+        }
+    }
+
+    // ---- metrics --------------------------------------------------------
+
+    /// Ensure a series exists for `(entity, kind)` and return it mutably.
+    pub fn series_mut(&mut self, entity: EntityId, kind: MetricKind) -> &mut TimeSeries {
+        let interval = self.interval_secs;
+        self.series
+            .entry(MetricId::new(entity, kind))
+            .or_insert_with(|| TimeSeries::new(interval, 0))
+    }
+
+    /// Record a metric value at a tick.
+    pub fn record(&mut self, entity: EntityId, kind: MetricKind, tick: u64, value: f64) {
+        self.series_mut(entity, kind).set(tick, value);
+    }
+
+    /// Fetch the series for a metric, if present.
+    pub fn series(&self, metric: MetricId) -> Option<&TimeSeries> {
+        self.series.get(&metric)
+    }
+
+    /// Metric kinds with data for an entity.
+    pub fn metrics_of(&self, entity: EntityId) -> Vec<MetricKind> {
+        self.series
+            .keys()
+            .filter(|m| m.entity == entity)
+            .map(|m| m.kind)
+            .collect()
+    }
+
+    /// All metric ids with data.
+    pub fn all_metrics(&self) -> Vec<MetricId> {
+        self.series.keys().copied().collect()
+    }
+
+    /// Remove one metric's series entirely (Table 2 "missing metric").
+    pub fn remove_metric(&mut self, metric: MetricId) -> bool {
+        self.series.remove(&metric).is_some()
+    }
+
+    /// Current value of a metric (latest finite point), imputing the kind
+    /// default when the series is missing or empty (§4.2 "Edge cases").
+    pub fn current_value(&self, metric: MetricId) -> f64 {
+        self.series(metric)
+            .and_then(|s| s.last())
+            .unwrap_or_else(|| metric.kind.default_value())
+    }
+
+    /// Value of a metric at a tick, with default imputation.
+    pub fn value_at(&self, metric: MetricId, tick: u64) -> f64 {
+        self.series(metric)
+            .map(|s| s.at_or(tick, metric.kind.default_value()))
+            .unwrap_or_else(|| metric.kind.default_value())
+    }
+
+    /// Latest tick with any data across all series ("now").
+    pub fn latest_tick(&self) -> u64 {
+        self.series
+            .values()
+            .filter_map(|s| s.last_tick())
+            .max()
+            .unwrap_or(0)
+    }
+
+    // ---- configuration changes -------------------------------------------
+
+    /// Record a configuration change.
+    pub fn record_change(
+        &mut self,
+        entity: EntityId,
+        kind: ChangeKind,
+        tick: u64,
+        detail: impl Into<String>,
+    ) {
+        self.changes.record(entity, kind, tick, detail);
+    }
+
+    /// Configuration changes at or after `since_tick`.
+    pub fn recent_changes(&self, since_tick: u64) -> Vec<&ConfigChange> {
+        self.changes.recent(since_tick)
+    }
+
+    /// The full change log.
+    pub fn change_log(&self) -> &ChangeLog {
+        &self.changes
+    }
+
+    // ---- applications ---------------------------------------------------
+
+    /// Tag an entity as member of an application.
+    pub fn tag_application(&mut self, app: impl Into<String>, entity: EntityId) {
+        self.applications.entry(app.into()).or_default().insert(entity);
+    }
+
+    /// Members of an application (empty if unknown).
+    pub fn application_members(&self, app: &str) -> Vec<EntityId> {
+        self.applications
+            .get(app)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All application names.
+    pub fn applications(&self) -> Vec<&str> {
+        self.applications.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Applications a given entity belongs to.
+    pub fn applications_of(&self, entity: EntityId) -> Vec<&str> {
+        self.applications
+            .iter()
+            .filter(|(_, members)| members.contains(&entity))
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db() -> (MonitoringDb, EntityId, EntityId, EntityId) {
+        let mut db = MonitoringDb::new(10);
+        let vm = db.add_entity(EntityKind::Vm, "vm-1");
+        let host = db.add_entity(EntityKind::Host, "host-1");
+        let flow = db.add_entity(EntityKind::Flow, "flow-1");
+        db.relate(vm, host, AssociationKind::RunsOn);
+        db.relate(flow, vm, AssociationKind::FlowDestination);
+        (db, vm, host, flow)
+    }
+
+    #[test]
+    fn entities_are_dense_and_lookupable() {
+        let (db, vm, host, flow) = small_db();
+        assert_eq!(vm, EntityId(0));
+        assert_eq!(host, EntityId(1));
+        assert_eq!(flow, EntityId(2));
+        assert_eq!(db.entity(vm).unwrap().name, "vm-1");
+        assert_eq!(db.entity_count(), 3);
+        assert_eq!(db.entities_of_kind(EntityKind::Vm), vec![vm]);
+        assert_eq!(db.entity_by_name("host-1").unwrap().id, host);
+        assert!(db.entity(EntityId(99)).is_none());
+    }
+
+    #[test]
+    fn neighbors_follow_associations() {
+        let (db, vm, host, flow) = small_db();
+        assert_eq!(db.neighbors(vm), vec![host, flow]);
+        assert_eq!(db.neighbors(host), vec![vm]);
+        assert_eq!(db.neighbors(flow), vec![vm]);
+    }
+
+    #[test]
+    fn record_and_read_metrics() {
+        let (mut db, vm, _, _) = small_db();
+        db.record(vm, MetricKind::CpuUtil, 0, 10.0);
+        db.record(vm, MetricKind::CpuUtil, 1, 20.0);
+        let m = MetricId::new(vm, MetricKind::CpuUtil);
+        assert_eq!(db.current_value(m), 20.0);
+        assert_eq!(db.value_at(m, 0), 10.0);
+        assert_eq!(db.value_at(m, 5), 0.0); // default imputation
+        assert_eq!(db.metrics_of(vm), vec![MetricKind::CpuUtil]);
+        assert_eq!(db.latest_tick(), 1);
+    }
+
+    #[test]
+    fn missing_series_imputes_default() {
+        let (db, vm, _, _) = small_db();
+        let m = MetricId::new(vm, MetricKind::MemUtil);
+        assert_eq!(db.current_value(m), 0.0);
+        assert_eq!(db.value_at(m, 3), 0.0);
+    }
+
+    #[test]
+    fn remove_entity_cleans_everything() {
+        let (mut db, vm, host, flow) = small_db();
+        db.record(vm, MetricKind::CpuUtil, 0, 50.0);
+        db.tag_application("app", vm);
+        db.remove_entity(vm);
+        assert!(db.entity(vm).is_none());
+        assert_eq!(db.entity_count(), 2);
+        assert!(db.neighbors(host).is_empty());
+        assert!(db.neighbors(flow).is_empty());
+        assert!(db.series(MetricId::new(vm, MetricKind::CpuUtil)).is_none());
+        assert!(db.application_members("app").is_empty());
+        // Ids of the survivors are unchanged.
+        assert_eq!(db.entity(host).unwrap().id, host);
+    }
+
+    #[test]
+    fn remove_association_specific() {
+        let (mut db, vm, host, _) = small_db();
+        assert!(db.remove_association(host, vm, AssociationKind::RunsOn));
+        assert!(!db.remove_association(host, vm, AssociationKind::RunsOn));
+        assert!(!db.neighbors(host).contains(&vm));
+        // Other associations survive.
+        assert_eq!(db.associations().len(), 1);
+    }
+
+    #[test]
+    fn remove_association_at_index() {
+        let (mut db, vm, _, flow) = small_db();
+        let removed = db.remove_association_at(1).unwrap();
+        assert_eq!(removed.kind, AssociationKind::FlowDestination);
+        assert!(!db.neighbors(vm).contains(&flow));
+        assert!(db.remove_association_at(5).is_none());
+    }
+
+    #[test]
+    fn applications_membership() {
+        let (mut db, vm, host, _) = small_db();
+        db.tag_application("shop", vm);
+        db.tag_application("shop", host);
+        db.tag_application("crm", vm);
+        assert_eq!(db.application_members("shop"), vec![vm, host]);
+        assert_eq!(db.applications_of(vm), vec!["crm", "shop"]);
+        assert_eq!(db.applications(), vec!["crm", "shop"]);
+        assert!(db.application_members("nope").is_empty());
+    }
+
+    #[test]
+    fn remove_metric_series() {
+        let (mut db, vm, _, _) = small_db();
+        db.record(vm, MetricKind::CpuUtil, 0, 1.0);
+        let m = MetricId::new(vm, MetricKind::CpuUtil);
+        assert!(db.remove_metric(m));
+        assert!(!db.remove_metric(m));
+        assert!(db.series(m).is_none());
+    }
+
+    #[test]
+    fn self_association_indexes_once() {
+        let mut db = MonitoringDb::new(10);
+        let e = db.add_entity(EntityKind::Vm, "self");
+        db.relate(e, e, AssociationKind::Related);
+        assert_eq!(db.associations_of(e).len(), 1);
+        assert!(db.neighbors(e).is_empty()); // a self-loop is not a neighbor
+    }
+}

@@ -1,0 +1,247 @@
+//! Data-corruption operators for the robustness study (Table 2).
+//!
+//! The paper evaluates each diagnosis scheme on telemetry degraded four
+//! ways, each modeling a real monitoring failure mode:
+//!
+//! * **Missing edge** — a randomly chosen association is removed (a bug in
+//!   the tracing framework loses a caller/callee edge),
+//! * **Missing entity** — a randomly chosen entity vanishes together with
+//!   its metrics and associations (missing monitoring coverage),
+//! * **Missing metric** — a single metric of the *root-cause* entity is
+//!   dropped (a collector gap on exactly the entity that matters),
+//! * **Missing values** — 25% of entities lose their historical values but
+//!   keep incident-time points (newly spawned entities).
+
+use crate::database::MonitoringDb;
+use crate::entity::EntityId;
+use crate::metric::MetricId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A degradation to apply to a [`MonitoringDb`] before diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// Remove one random association. If `protect_symptom` was given to
+    /// [`apply`], associations touching the symptom entity are spared so
+    /// the diagnosis target itself stays connected.
+    MissingEdge,
+    /// Remove one random entity (never the symptom or root-cause entity —
+    /// the paper removes a *randomly chosen* entity, and the experiment is
+    /// only defined when the ground truth still exists).
+    MissingEntity,
+    /// Remove a single metric from the root-cause entity.
+    MissingMetric,
+    /// Blank historical values (before `keep_after_tick`) for this
+    /// fraction of entities, keeping incident-time data.
+    MissingValues {
+        /// Fraction of entities affected (the paper uses 0.25).
+        fraction: f64,
+    },
+}
+
+impl Degradation {
+    /// The paper's four degradations in Table 2 order.
+    pub const TABLE2: [Degradation; 4] = [
+        Degradation::MissingValues { fraction: 0.25 },
+        Degradation::MissingEdge,
+        Degradation::MissingEntity,
+        Degradation::MissingMetric,
+    ];
+
+    /// Row label used when printing Table 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Degradation::MissingValues { .. } => "Missing values",
+            Degradation::MissingEdge => "Missing edge",
+            Degradation::MissingEntity => "Missing entity",
+            Degradation::MissingMetric => "Missing metric",
+        }
+    }
+}
+
+/// Context needed to apply a degradation meaningfully.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradeContext {
+    /// The entity whose symptom will be diagnosed (never removed).
+    pub symptom_entity: EntityId,
+    /// The ground-truth root cause (target of `MissingMetric`; never
+    /// removed by `MissingEntity`).
+    pub root_cause_entity: EntityId,
+    /// Tick at which the incident starts; `MissingValues` keeps data from
+    /// here on.
+    pub incident_start_tick: u64,
+}
+
+/// Apply a degradation in place. Returns a human-readable description of
+/// what was corrupted (for experiment logs).
+pub fn apply<R: Rng>(
+    db: &mut MonitoringDb,
+    degradation: Degradation,
+    ctx: DegradeContext,
+    rng: &mut R,
+) -> String {
+    match degradation {
+        Degradation::MissingEdge => {
+            let candidates: Vec<usize> = (0..db.associations().len())
+                .filter(|&i| {
+                    let a = db.associations()[i];
+                    !a.touches(ctx.symptom_entity)
+                })
+                .collect();
+            match candidates.choose(rng) {
+                Some(&idx) => {
+                    let removed = db
+                        .remove_association_at(idx)
+                        .expect("candidate index is in range");
+                    format!("removed association {:?} {} -- {}", removed.kind, removed.a, removed.b)
+                }
+                None => "no removable association".to_string(),
+            }
+        }
+        Degradation::MissingEntity => {
+            let candidates: Vec<EntityId> = db
+                .entities()
+                .map(|e| e.id)
+                .filter(|&id| id != ctx.symptom_entity && id != ctx.root_cause_entity)
+                .collect();
+            match candidates.choose(rng) {
+                Some(&id) => {
+                    db.remove_entity(id);
+                    format!("removed entity {id}")
+                }
+                None => "no removable entity".to_string(),
+            }
+        }
+        Degradation::MissingMetric => {
+            let metrics: Vec<MetricId> = db
+                .all_metrics()
+                .into_iter()
+                .filter(|m| m.entity == ctx.root_cause_entity)
+                .collect();
+            match metrics.choose(rng) {
+                Some(&m) => {
+                    db.remove_metric(m);
+                    format!("removed metric {m}")
+                }
+                None => "root cause has no metrics".to_string(),
+            }
+        }
+        Degradation::MissingValues { fraction } => {
+            let entities: Vec<EntityId> = db.entities().map(|e| e.id).collect();
+            let k = ((entities.len() as f64) * fraction).round() as usize;
+            let mut shuffled = entities;
+            shuffled.shuffle(rng);
+            let victims = &shuffled[..k.min(shuffled.len())];
+            let metrics = db.all_metrics();
+            for m in metrics {
+                if victims.contains(&m.entity) {
+                    if let Some(series) = db.series(m) {
+                        let mut s = series.clone();
+                        s.blank_before(ctx.incident_start_tick);
+                        *db.series_mut(m.entity, m.kind) = s;
+                    }
+                }
+            }
+            format!("blanked history of {} entities before tick {}", victims.len(), ctx.incident_start_tick)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::association::AssociationKind;
+    use crate::entity::EntityKind;
+    use crate::metric::MetricKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> (MonitoringDb, DegradeContext) {
+        let mut db = MonitoringDb::new(10);
+        let symptom = db.add_entity(EntityKind::Service, "svc");
+        let cause = db.add_entity(EntityKind::Vm, "vm");
+        let other = db.add_entity(EntityKind::Host, "host");
+        db.relate(symptom, cause, AssociationKind::Related);
+        db.relate(cause, other, AssociationKind::RunsOn);
+        for t in 0..10 {
+            db.record(cause, MetricKind::CpuUtil, t, t as f64);
+            db.record(cause, MetricKind::MemUtil, t, 1.0);
+            db.record(other, MetricKind::CpuUtil, t, 2.0);
+            db.record(symptom, MetricKind::Latency, t, 5.0);
+        }
+        (
+            db,
+            DegradeContext {
+                symptom_entity: symptom,
+                root_cause_entity: cause,
+                incident_start_tick: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn missing_edge_spares_symptom() {
+        let (mut d, ctx) = db();
+        let mut rng = StdRng::seed_from_u64(1);
+        apply(&mut d, Degradation::MissingEdge, ctx, &mut rng);
+        // Only the cause--other edge is removable; symptom edge remains.
+        assert_eq!(d.associations().len(), 1);
+        assert!(d.associations()[0].touches(ctx.symptom_entity));
+    }
+
+    #[test]
+    fn missing_entity_never_removes_ground_truth() {
+        for seed in 0..20 {
+            let (mut d, ctx) = db();
+            let mut rng = StdRng::seed_from_u64(seed);
+            apply(&mut d, Degradation::MissingEntity, ctx, &mut rng);
+            assert!(d.entity(ctx.symptom_entity).is_some());
+            assert!(d.entity(ctx.root_cause_entity).is_some());
+            assert_eq!(d.entity_count(), 2);
+        }
+    }
+
+    #[test]
+    fn missing_metric_targets_root_cause() {
+        let (mut d, ctx) = db();
+        let before = d.metrics_of(ctx.root_cause_entity).len();
+        let mut rng = StdRng::seed_from_u64(2);
+        apply(&mut d, Degradation::MissingMetric, ctx, &mut rng);
+        assert_eq!(d.metrics_of(ctx.root_cause_entity).len(), before - 1);
+        // Other entities untouched.
+        assert_eq!(d.metrics_of(ctx.symptom_entity).len(), 1);
+    }
+
+    #[test]
+    fn missing_values_keeps_incident_window() {
+        let (mut d, ctx) = db();
+        let mut rng = StdRng::seed_from_u64(3);
+        apply(&mut d, Degradation::MissingValues { fraction: 1.0 }, ctx, &mut rng);
+        let m = MetricId::new(ctx.root_cause_entity, MetricKind::CpuUtil);
+        let s = d.series(m).unwrap();
+        // History blanked...
+        assert_eq!(s.at(0), None);
+        assert_eq!(s.at(7), None);
+        // ...incident-time data retained.
+        assert_eq!(s.at(8), Some(8.0));
+        assert_eq!(s.at(9), Some(9.0));
+    }
+
+    #[test]
+    fn missing_values_fraction_counts_entities() {
+        let (mut d, ctx) = db();
+        let mut rng = StdRng::seed_from_u64(4);
+        let msg = apply(&mut d, Degradation::MissingValues { fraction: 0.34 }, ctx, &mut rng);
+        assert!(msg.contains("1 entities"), "{msg}");
+    }
+
+    #[test]
+    fn table2_order_and_labels() {
+        let labels: Vec<&str> = Degradation::TABLE2.iter().map(|d| d.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Missing values", "Missing edge", "Missing entity", "Missing metric"]
+        );
+    }
+}

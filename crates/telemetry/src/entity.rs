@@ -1,0 +1,175 @@
+//! Entities: the monitored objects of the system.
+//!
+//! The taxonomy mirrors the entity table in §2.1 of the paper (VM, host,
+//! container, virtual/physical NIC, flow, switch interface, datastore) plus
+//! the microservice-level kinds used in the DeathStarBench evaluation
+//! (service, client) and the aggregation kinds (switch, application tier).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque, dense entity identifier.
+///
+/// Identifiers are handed out by [`crate::MonitoringDb::add_entity`] in
+/// insertion order, which lets graph code index `Vec`s by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// Index form for dense vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// The kind of a monitored entity.
+///
+/// Kinds determine which metrics an entity exposes by default (see
+/// [`crate::MetricKind::defaults_for`]) and how the explanation engine
+/// phrases chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// Virtual machine.
+    Vm,
+    /// Physical host (hypervisor).
+    Host,
+    /// Container (Docker / pod member).
+    Container,
+    /// A microservice (logical service, possibly spanning containers).
+    Service,
+    /// Virtual NIC attached to a VM.
+    VirtualNic,
+    /// Physical NIC on a host.
+    PhysicalNic,
+    /// A network flow identified by its 4-tuple.
+    Flow,
+    /// A switch interface / port.
+    SwitchInterface,
+    /// A top-of-rack or aggregation switch.
+    Switch,
+    /// A datastore backing VMs.
+    Datastore,
+    /// An external client / load generator.
+    Client,
+}
+
+impl EntityKind {
+    /// All kinds, for exhaustive iteration in tests and generators.
+    pub const ALL: [EntityKind; 11] = [
+        EntityKind::Vm,
+        EntityKind::Host,
+        EntityKind::Container,
+        EntityKind::Service,
+        EntityKind::VirtualNic,
+        EntityKind::PhysicalNic,
+        EntityKind::Flow,
+        EntityKind::SwitchInterface,
+        EntityKind::Switch,
+        EntityKind::Datastore,
+        EntityKind::Client,
+    ];
+
+    /// Short human-readable name used in explanations and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::Vm => "VM",
+            EntityKind::Host => "host",
+            EntityKind::Container => "container",
+            EntityKind::Service => "service",
+            EntityKind::VirtualNic => "vNIC",
+            EntityKind::PhysicalNic => "pNIC",
+            EntityKind::Flow => "flow",
+            EntityKind::SwitchInterface => "switch interface",
+            EntityKind::Switch => "switch",
+            EntityKind::Datastore => "datastore",
+            EntityKind::Client => "client",
+        }
+    }
+
+    /// Whether the entity is an infrastructure component (as opposed to an
+    /// application-level one). Infrastructure entities are the main source
+    /// of the bidirectional "shared resource" couplings of §2.2.
+    pub fn is_infrastructure(self) -> bool {
+        matches!(
+            self,
+            EntityKind::Host
+                | EntityKind::VirtualNic
+                | EntityKind::PhysicalNic
+                | EntityKind::SwitchInterface
+                | EntityKind::Switch
+                | EntityKind::Datastore
+        )
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A monitored entity: id, kind, human-readable name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entity {
+    /// Identifier within the owning [`crate::MonitoringDb`].
+    pub id: EntityId,
+    /// Entity kind.
+    pub kind: EntityKind,
+    /// Display name, e.g. `"frontend-vm"` or `"flow crawler→frontend"`.
+    pub name: String,
+}
+
+impl Entity {
+    /// Describe the entity for reports: `"VM frontend-vm (E3)"`.
+    pub fn describe(&self) -> String {
+        format!("{} {} ({})", self.kind.label(), self.name, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips_through_index() {
+        let id = EntityId(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "E42");
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_labels() {
+        let mut labels: Vec<&str> = EntityKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), EntityKind::ALL.len());
+    }
+
+    #[test]
+    fn infrastructure_classification() {
+        assert!(EntityKind::Host.is_infrastructure());
+        assert!(EntityKind::Switch.is_infrastructure());
+        assert!(!EntityKind::Vm.is_infrastructure());
+        assert!(!EntityKind::Service.is_infrastructure());
+        assert!(!EntityKind::Flow.is_infrastructure());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let e = Entity {
+            id: EntityId(7),
+            kind: EntityKind::Flow,
+            name: "crawler→frontend".into(),
+        };
+        let d = e.describe();
+        assert!(d.contains("flow"));
+        assert!(d.contains("crawler"));
+        assert!(d.contains("E7"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Telemetry substrate for the Murphy reproduction.
+//!
+//! The paper's Murphy consumes passive telemetry from an enterprise
+//! observability platform (§2.1): typed *entities* (VMs, hosts, containers,
+//! NICs, flows, switch interfaces, datastores, services), per-entity metric
+//! *time series* collected at fixed intervals, and *association* metadata
+//! ("VM v1 is located on host h5 and has a TCP connection to v2").
+//!
+//! This crate is the stand-in for that platform:
+//!
+//! * [`entity`] — entity identifiers and the entity-kind taxonomy,
+//! * [`metric`] — the metric taxonomy, with per-kind defaults and the
+//!   conservative thresholds Murphy uses for labeling and pruning,
+//! * [`timeseries`] — fixed-interval time series with window extraction,
+//! * [`association`] — typed, optionally directed associations,
+//! * [`database`] — [`database::MonitoringDb`], the queryable in-memory
+//!   monitoring database everything else reads from,
+//! * [`snapshot`] — aligned metric matrices for model training,
+//! * [`changes`] — the configuration-change log surfaced next to a
+//!   diagnosis (§4.2: "Murphy also presents all recent configuration
+//!   changes to the operator"),
+//! * [`degrade`] — the data-corruption operators of Table 2 (missing
+//!   edge / entity / metric / historical values).
+//!
+//! Everything downstream — relationship-graph construction, Murphy's MRF,
+//! the baselines, and the simulators — works exclusively through this API,
+//! mirroring how the real system works only with commonly available
+//! monitoring data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod association;
+pub mod changes;
+pub mod database;
+pub mod degrade;
+pub mod entity;
+pub mod metric;
+pub mod snapshot;
+pub mod timeseries;
+
+pub use association::{Association, AssociationKind, Directionality};
+pub use changes::{ChangeKind, ChangeLog, ConfigChange};
+pub use database::MonitoringDb;
+pub use entity::{Entity, EntityId, EntityKind};
+pub use metric::{MetricId, MetricKind};
+pub use snapshot::MetricMatrix;
+pub use timeseries::TimeSeries;

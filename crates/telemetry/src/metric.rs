@@ -1,0 +1,294 @@
+//! Metrics: the per-entity performance time series.
+//!
+//! The taxonomy follows the entity/metric table in §2.1 of the paper.
+//! Each [`MetricKind`] carries:
+//!
+//! * a default value used to impute missing history for newly spawned
+//!   entities (§4.2 "Edge cases" — e.g. 0% for CPU usage),
+//! * the conservative alert threshold used by the labeling scheme (§4.3)
+//!   and the candidate-pruning BFS (§4.2): 25% utilization, 0.1% drop
+//!   rate, 50 TCP sessions or 1 GB per interval, and so on.
+
+use crate::entity::{EntityId, EntityKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// CPU utilization, percent [0, 100].
+    CpuUtil,
+    /// Memory utilization, percent [0, 100].
+    MemUtil,
+    /// Disk utilization / IO pressure, percent [0, 100].
+    DiskUtil,
+    /// Network transmit rate, MB per interval.
+    NetTx,
+    /// Network receive rate, MB per interval.
+    NetRx,
+    /// Dropped packets, percent of traffic [0, 100].
+    DropRate,
+    /// Request or response latency, milliseconds.
+    Latency,
+    /// Request rate, requests per second.
+    RequestRate,
+    /// Error rate, percent of requests [0, 100].
+    ErrorRate,
+    /// Flow throughput, MB per interval.
+    Throughput,
+    /// Flow round-trip time, milliseconds.
+    Rtt,
+    /// Flow TCP session count in the interval.
+    SessionCount,
+    /// Flow retransmission ratio, percent [0, 100].
+    RetransmitRatio,
+    /// Switch-interface peak buffer utilization, percent [0, 100].
+    BufferUtil,
+    /// Datastore space utilization, percent [0, 100].
+    SpaceUtil,
+}
+
+impl MetricKind {
+    /// All metric kinds.
+    pub const ALL: [MetricKind; 15] = [
+        MetricKind::CpuUtil,
+        MetricKind::MemUtil,
+        MetricKind::DiskUtil,
+        MetricKind::NetTx,
+        MetricKind::NetRx,
+        MetricKind::DropRate,
+        MetricKind::Latency,
+        MetricKind::RequestRate,
+        MetricKind::ErrorRate,
+        MetricKind::Throughput,
+        MetricKind::Rtt,
+        MetricKind::SessionCount,
+        MetricKind::RetransmitRatio,
+        MetricKind::BufferUtil,
+        MetricKind::SpaceUtil,
+    ];
+
+    /// Short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::CpuUtil => "cpu_util",
+            MetricKind::MemUtil => "mem_util",
+            MetricKind::DiskUtil => "disk_util",
+            MetricKind::NetTx => "net_tx",
+            MetricKind::NetRx => "net_rx",
+            MetricKind::DropRate => "drop_rate",
+            MetricKind::Latency => "latency",
+            MetricKind::RequestRate => "request_rate",
+            MetricKind::ErrorRate => "error_rate",
+            MetricKind::Throughput => "throughput",
+            MetricKind::Rtt => "rtt",
+            MetricKind::SessionCount => "session_count",
+            MetricKind::RetransmitRatio => "retransmit_ratio",
+            MetricKind::BufferUtil => "buffer_util",
+            MetricKind::SpaceUtil => "space_util",
+        }
+    }
+
+    /// Unit string for reports.
+    pub fn unit(self) -> &'static str {
+        match self {
+            MetricKind::CpuUtil
+            | MetricKind::MemUtil
+            | MetricKind::DiskUtil
+            | MetricKind::DropRate
+            | MetricKind::ErrorRate
+            | MetricKind::RetransmitRatio
+            | MetricKind::BufferUtil
+            | MetricKind::SpaceUtil => "%",
+            MetricKind::NetTx | MetricKind::NetRx | MetricKind::Throughput => "MB/interval",
+            MetricKind::Latency | MetricKind::Rtt => "ms",
+            MetricKind::RequestRate => "req/s",
+            MetricKind::SessionCount => "sessions",
+        }
+    }
+
+    /// Default value imputed when an entity has no history (§4.2 "Edge
+    /// cases": "a default metric value (such as 0% for CPU usage) as a
+    /// placeholder for missing values").
+    pub fn default_value(self) -> f64 {
+        0.0
+    }
+
+    /// Conservative alert threshold used by the labeling scheme (§4.3,
+    /// footnote 7) and pruning: 25% for utilizations, 0.1% drop rate,
+    /// 50 sessions or 1 GB (1000 MB) per interval for flows. Metrics whose
+    /// thresholds the paper does not state get conservative analogues.
+    pub fn threshold(self) -> f64 {
+        match self {
+            MetricKind::CpuUtil
+            | MetricKind::MemUtil
+            | MetricKind::DiskUtil
+            | MetricKind::BufferUtil
+            | MetricKind::SpaceUtil => 25.0,
+            MetricKind::DropRate | MetricKind::RetransmitRatio => 0.1,
+            MetricKind::SessionCount => 50.0,
+            MetricKind::Throughput | MetricKind::NetTx | MetricKind::NetRx => 1000.0,
+            MetricKind::Latency | MetricKind::Rtt => 100.0,
+            MetricKind::RequestRate => 500.0,
+            MetricKind::ErrorRate => 1.0,
+        }
+    }
+
+    /// Whether a value is bounded to a percentage range.
+    pub fn is_percentage(self) -> bool {
+        self.unit() == "%"
+    }
+
+    /// Clamp a sampled/simulated value to the metric's physical domain:
+    /// percentages live in [0, 100], everything else is non-negative.
+    pub fn clamp(self, value: f64) -> f64 {
+        if !value.is_finite() {
+            return self.default_value();
+        }
+        if self.is_percentage() {
+            value.clamp(0.0, 100.0)
+        } else {
+            value.max(0.0)
+        }
+    }
+
+    /// "Load-like" metrics: high values indicate traffic/work volume.
+    /// The explanation labeler uses these for the heavy-hitter label.
+    pub fn is_load_like(self) -> bool {
+        matches!(
+            self,
+            MetricKind::Throughput
+                | MetricKind::SessionCount
+                | MetricKind::RequestRate
+                | MetricKind::NetTx
+                | MetricKind::NetRx
+        )
+    }
+
+    /// Default metrics exposed by each entity kind (the §2.1 table).
+    pub fn defaults_for(kind: EntityKind) -> &'static [MetricKind] {
+        use MetricKind::*;
+        match kind {
+            EntityKind::Vm | EntityKind::Host | EntityKind::Container => {
+                &[CpuUtil, MemUtil, DiskUtil, NetTx, NetRx, DropRate]
+            }
+            EntityKind::Service => &[Latency, RequestRate, ErrorRate],
+            EntityKind::VirtualNic => &[NetTx, NetRx, DropRate],
+            EntityKind::PhysicalNic => &[NetTx, NetRx, DropRate, Latency, BufferUtil],
+            EntityKind::Flow => &[SessionCount, Throughput, Rtt, DropRate, RetransmitRatio],
+            EntityKind::SwitchInterface => &[NetTx, NetRx, DropRate, Latency, BufferUtil],
+            EntityKind::Switch => &[NetTx, NetRx, DropRate],
+            EntityKind::Datastore => &[SpaceUtil, DiskUtil],
+            EntityKind::Client => &[RequestRate, Latency],
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fully-qualified metric identifier: (entity, metric kind).
+///
+/// This is the `(E, M)` pair of the paper: problematic symptoms, root
+/// causes, and factor inputs are all named this way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricId {
+    /// The owning entity.
+    pub entity: EntityId,
+    /// The metric kind.
+    pub kind: MetricKind,
+}
+
+impl MetricId {
+    /// Construct from parts.
+    pub fn new(entity: EntityId, kind: MetricKind) -> Self {
+        Self { entity, kind }
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.entity, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entity_kind_has_metrics() {
+        for kind in EntityKind::ALL {
+            assert!(
+                !MetricKind::defaults_for(kind).is_empty(),
+                "{kind:?} has no default metrics"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_thresholds() {
+        assert_eq!(MetricKind::CpuUtil.threshold(), 25.0);
+        assert_eq!(MetricKind::MemUtil.threshold(), 25.0);
+        assert_eq!(MetricKind::DropRate.threshold(), 0.1);
+        assert_eq!(MetricKind::SessionCount.threshold(), 50.0);
+        assert_eq!(MetricKind::Throughput.threshold(), 1000.0);
+    }
+
+    #[test]
+    fn clamp_respects_domains() {
+        assert_eq!(MetricKind::CpuUtil.clamp(150.0), 100.0);
+        assert_eq!(MetricKind::CpuUtil.clamp(-5.0), 0.0);
+        assert_eq!(MetricKind::Latency.clamp(-1.0), 0.0);
+        assert_eq!(MetricKind::Latency.clamp(12345.0), 12345.0);
+        assert_eq!(MetricKind::CpuUtil.clamp(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn load_like_classification() {
+        assert!(MetricKind::Throughput.is_load_like());
+        assert!(MetricKind::SessionCount.is_load_like());
+        assert!(!MetricKind::CpuUtil.is_load_like());
+        assert!(!MetricKind::Latency.is_load_like());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = MetricKind::ALL.iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), MetricKind::ALL.len());
+    }
+
+    #[test]
+    fn metric_id_display() {
+        let m = MetricId::new(EntityId(3), MetricKind::CpuUtil);
+        assert_eq!(format!("{m}"), "E3.cpu_util");
+    }
+
+    #[test]
+    fn vm_metrics_match_paper_table() {
+        let vm = MetricKind::defaults_for(EntityKind::Vm);
+        for needed in [
+            MetricKind::CpuUtil,
+            MetricKind::MemUtil,
+            MetricKind::NetTx,
+            MetricKind::NetRx,
+            MetricKind::DropRate,
+        ] {
+            assert!(vm.contains(&needed));
+        }
+        let flow = MetricKind::defaults_for(EntityKind::Flow);
+        for needed in [
+            MetricKind::SessionCount,
+            MetricKind::Throughput,
+            MetricKind::Rtt,
+            MetricKind::RetransmitRatio,
+        ] {
+            assert!(flow.contains(&needed));
+        }
+    }
+}

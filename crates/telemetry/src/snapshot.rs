@@ -1,0 +1,166 @@
+//! Aligned metric matrices for model training.
+//!
+//! Murphy's factors are trained by "relating metrics of entity v in a time
+//! slice to the metrics of the neighbors of v in the same time slice"
+//! (§4.2). [`MetricMatrix`] extracts an aligned `[time × metric]` matrix
+//! from the monitoring database for a set of metric ids and a tick window,
+//! with default-value imputation for gaps.
+
+use crate::database::MonitoringDb;
+use crate::metric::MetricId;
+use serde::{Deserialize, Serialize};
+
+/// A dense `[rows = time slices] × [cols = metrics]` matrix of aligned
+/// metric values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricMatrix {
+    /// Column labels: the metric each column holds.
+    pub metrics: Vec<MetricId>,
+    /// First tick of the window (inclusive).
+    pub from_tick: u64,
+    /// One past the last tick (exclusive).
+    pub to_tick: u64,
+    /// Row-major data: `data[row * metrics.len() + col]`.
+    data: Vec<f64>,
+}
+
+impl MetricMatrix {
+    /// Extract the window `[from_tick, to_tick)` for `metrics` from `db`.
+    ///
+    /// Missing series and missing points impute the metric kind's default
+    /// (§4.2 "Edge cases": newly introduced entities have no history).
+    pub fn extract(
+        db: &MonitoringDb,
+        metrics: &[MetricId],
+        from_tick: u64,
+        to_tick: u64,
+    ) -> Self {
+        let rows = to_tick.saturating_sub(from_tick) as usize;
+        let cols = metrics.len();
+        let mut data = vec![0.0; rows * cols];
+        for (c, &m) in metrics.iter().enumerate() {
+            let default = m.kind.default_value();
+            match db.series(m) {
+                Some(s) => {
+                    for (r, t) in (from_tick..to_tick).enumerate() {
+                        data[r * cols + c] = s.at_or(t, default);
+                    }
+                }
+                None => {
+                    for r in 0..rows {
+                        data[r * cols + c] = default;
+                    }
+                }
+            }
+        }
+        Self {
+            metrics: metrics.to_vec(),
+            from_tick,
+            to_tick,
+            data,
+        }
+    }
+
+    /// Number of time slices (rows).
+    pub fn rows(&self) -> usize {
+        if self.metrics.is_empty() {
+            0
+        } else {
+            self.data.len() / self.metrics.len()
+        }
+    }
+
+    /// Number of metrics (columns).
+    pub fn cols(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols() + col]
+    }
+
+    /// One metric's column as a vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        (0..self.rows()).map(|r| self.get(r, col)).collect()
+    }
+
+    /// One time slice's row as a slice.
+    pub fn row(&self, row: usize) -> &[f64] {
+        let cols = self.cols();
+        &self.data[row * cols..(row + 1) * cols]
+    }
+
+    /// Column index of a metric id, if present.
+    pub fn column_of(&self, metric: MetricId) -> Option<usize> {
+        self.metrics.iter().position(|&m| m == metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityKind;
+    use crate::metric::MetricKind;
+
+    fn db_with_two_metrics() -> (MonitoringDb, MetricId, MetricId) {
+        let mut db = MonitoringDb::new(10);
+        let vm = db.add_entity(EntityKind::Vm, "vm");
+        for t in 0..5 {
+            db.record(vm, MetricKind::CpuUtil, t, t as f64 * 10.0);
+        }
+        db.record(vm, MetricKind::MemUtil, 2, 40.0);
+        (
+            db,
+            MetricId::new(vm, MetricKind::CpuUtil),
+            MetricId::new(vm, MetricKind::MemUtil),
+        )
+    }
+
+    #[test]
+    fn extract_aligns_columns() {
+        let (db, cpu, mem) = db_with_two_metrics();
+        let m = MetricMatrix::extract(&db, &[cpu, mem], 0, 5);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.column(0), vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        // mem has a single point at t=2; gaps impute default 0.0.
+        assert_eq!(m.column(1), vec![0.0, 0.0, 40.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn extract_missing_series_is_all_default() {
+        let (db, cpu, _) = db_with_two_metrics();
+        let ghost = MetricId::new(crate::EntityId(0), MetricKind::Latency);
+        let m = MetricMatrix::extract(&db, &[cpu, ghost], 0, 3);
+        assert_eq!(m.column(1), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_access() {
+        let (db, cpu, mem) = db_with_two_metrics();
+        let m = MetricMatrix::extract(&db, &[cpu, mem], 0, 5);
+        assert_eq!(m.row(2), &[20.0, 40.0]);
+        assert_eq!(m.get(3, 0), 30.0);
+    }
+
+    #[test]
+    fn column_of_finds_metric() {
+        let (db, cpu, mem) = db_with_two_metrics();
+        let m = MetricMatrix::extract(&db, &[cpu, mem], 0, 2);
+        assert_eq!(m.column_of(cpu), Some(0));
+        assert_eq!(m.column_of(mem), Some(1));
+        let ghost = MetricId::new(crate::EntityId(9), MetricKind::Rtt);
+        assert_eq!(m.column_of(ghost), None);
+    }
+
+    #[test]
+    fn empty_window() {
+        let (db, cpu, _) = db_with_two_metrics();
+        let m = MetricMatrix::extract(&db, &[cpu], 5, 5);
+        assert_eq!(m.rows(), 0);
+        let m = MetricMatrix::extract(&db, &[], 0, 5);
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.cols(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Fixed-interval time series.
+//!
+//! The monitoring platform of §2.1 collects each metric "in intervals
+//! within minutes". We model a series as a start tick, a fixed interval in
+//! seconds, and a dense vector of values; a *tick* is the integer index of
+//! an interval since the simulation epoch. Missing points are represented
+//! as NaN internally and imputed on extraction.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-interval metric time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Interval length in seconds (e.g. 10 for the microservice traces,
+    /// 300 for the enterprise data set).
+    pub interval_secs: u64,
+    /// Tick index of `values[0]`.
+    pub start_tick: u64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// New empty series.
+    pub fn new(interval_secs: u64, start_tick: u64) -> Self {
+        Self {
+            interval_secs,
+            start_tick,
+            values: Vec::new(),
+        }
+    }
+
+    /// New series from existing values.
+    pub fn from_values(interval_secs: u64, start_tick: u64, values: Vec<f64>) -> Self {
+        Self {
+            interval_secs,
+            start_tick,
+            values,
+        }
+    }
+
+    /// Append a value for the next tick.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// First tick with data, if any.
+    pub fn first_tick(&self) -> Option<u64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.start_tick)
+        }
+    }
+
+    /// One past the last tick with data (exclusive end).
+    pub fn end_tick(&self) -> u64 {
+        self.start_tick + self.values.len() as u64
+    }
+
+    /// Value at an absolute tick, if stored and finite.
+    pub fn at(&self, tick: u64) -> Option<f64> {
+        if tick < self.start_tick {
+            return None;
+        }
+        let idx = (tick - self.start_tick) as usize;
+        self.values.get(idx).copied().filter(|v| v.is_finite())
+    }
+
+    /// Value at a tick, or `default` when missing — the §4.2 imputation.
+    pub fn at_or(&self, tick: u64, default: f64) -> f64 {
+        self.at(tick).unwrap_or(default)
+    }
+
+    /// Latest stored finite value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.values.iter().rev().copied().find(|v| v.is_finite())
+    }
+
+    /// Latest tick index that holds a finite value.
+    pub fn last_tick(&self) -> Option<u64> {
+        (0..self.values.len())
+            .rev()
+            .find(|&i| self.values[i].is_finite())
+            .map(|i| self.start_tick + i as u64)
+    }
+
+    /// Extract the window `[from_tick, to_tick)` as a dense vector, filling
+    /// missing or non-finite points with `default`.
+    pub fn window(&self, from_tick: u64, to_tick: u64, default: f64) -> Vec<f64> {
+        if to_tick <= from_tick {
+            return Vec::new();
+        }
+        (from_tick..to_tick).map(|t| self.at_or(t, default)).collect()
+    }
+
+    /// Extract the window with *mean imputation*: missing points take the
+    /// mean of the window's available points, falling back to `default`
+    /// when fewer than `min_points` are available.
+    ///
+    /// Used for model training on degraded telemetry (Table 2's "missing
+    /// values"): imputing a constant 0 into a series whose live values are
+    /// large would (a) teach the factor a garbage relationship and (b)
+    /// make every such entity look wildly anomalous against its own
+    /// blanked history. Mean imputation preserves the metric's scale.
+    pub fn window_mean_imputed(
+        &self,
+        from_tick: u64,
+        to_tick: u64,
+        default: f64,
+        min_points: usize,
+    ) -> Vec<f64> {
+        if to_tick <= from_tick {
+            return Vec::new();
+        }
+        let points: Vec<Option<f64>> = (from_tick..to_tick).map(|t| self.at(t)).collect();
+        let finite: Vec<f64> = points.iter().flatten().copied().collect();
+        let fill = if finite.len() >= min_points.max(1) {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        } else {
+            default
+        };
+        points.into_iter().map(|p| p.unwrap_or(fill)).collect()
+    }
+
+    /// Overwrite the value at an absolute tick (extending with NaN gaps if
+    /// needed). Used by fault injectors and the degradation operators.
+    pub fn set(&mut self, tick: u64, value: f64) {
+        if tick < self.start_tick {
+            // Prepend NaN gap.
+            let gap = (self.start_tick - tick) as usize;
+            let mut new_values = vec![f64::NAN; gap];
+            new_values.extend_from_slice(&self.values);
+            self.values = new_values;
+            self.start_tick = tick;
+            self.values[0] = value;
+            return;
+        }
+        let idx = (tick - self.start_tick) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, f64::NAN);
+        }
+        self.values[idx] = value;
+    }
+
+    /// Blank (set to NaN) every value strictly before `tick`. Used by the
+    /// Table 2 "missing values" degradation, which removes historical data
+    /// while keeping incident-time points.
+    pub fn blank_before(&mut self, tick: u64) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            if self.start_tick + (i as u64) < tick {
+                *v = f64::NAN;
+            }
+        }
+    }
+
+    /// Raw values (including NaN gaps); primarily for serialization/tests.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Aggregate consecutive points into buckets of `factor` points by
+    /// averaging (the platform's "data older than a day is aggregated into
+    /// longer time intervals"). NaN points are excluded from each bucket's
+    /// average; all-NaN buckets stay NaN.
+    pub fn aggregate(&self, factor: usize) -> TimeSeries {
+        assert!(factor > 0, "aggregation factor must be positive");
+        let mut out = Vec::with_capacity(self.values.len().div_ceil(factor));
+        for chunk in self.values.chunks(factor) {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &v in chunk {
+                if v.is_finite() {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            out.push(if n == 0 { f64::NAN } else { sum / n as f64 });
+        }
+        TimeSeries {
+            interval_secs: self.interval_secs * factor as u64,
+            start_tick: self.start_tick / factor as u64,
+            values: out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(10, 100, vals.to_vec())
+    }
+
+    #[test]
+    fn push_and_at() {
+        let mut ts = TimeSeries::new(10, 0);
+        ts.push(1.0);
+        ts.push(2.0);
+        assert_eq!(ts.at(0), Some(1.0));
+        assert_eq!(ts.at(1), Some(2.0));
+        assert_eq!(ts.at(2), None);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn at_respects_start_tick() {
+        let ts = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(ts.at(99), None);
+        assert_eq!(ts.at(100), Some(1.0));
+        assert_eq!(ts.at(102), Some(3.0));
+        assert_eq!(ts.end_tick(), 103);
+        assert_eq!(ts.first_tick(), Some(100));
+    }
+
+    #[test]
+    fn window_fills_missing_with_default() {
+        let ts = series(&[1.0, f64::NAN, 3.0]);
+        let w = ts.window(99, 104, -1.0);
+        assert_eq!(w, vec![-1.0, 1.0, -1.0, 3.0, -1.0]);
+    }
+
+    #[test]
+    fn empty_window_for_inverted_range() {
+        let ts = series(&[1.0]);
+        assert!(ts.window(5, 5, 0.0).is_empty());
+        assert!(ts.window(6, 5, 0.0).is_empty());
+    }
+
+    #[test]
+    fn last_skips_nan() {
+        let ts = series(&[1.0, 2.0, f64::NAN]);
+        assert_eq!(ts.last(), Some(2.0));
+        assert_eq!(ts.last_tick(), Some(101));
+        let empty = TimeSeries::new(10, 0);
+        assert_eq!(empty.last(), None);
+        assert_eq!(empty.last_tick(), None);
+    }
+
+    #[test]
+    fn set_extends_forward() {
+        let mut ts = series(&[1.0]);
+        ts.set(104, 9.0);
+        assert_eq!(ts.at(104), Some(9.0));
+        assert_eq!(ts.at(102), None); // NaN gap
+        assert_eq!(ts.len(), 5);
+    }
+
+    #[test]
+    fn set_extends_backward() {
+        let mut ts = series(&[5.0]);
+        ts.set(98, 1.0);
+        assert_eq!(ts.start_tick, 98);
+        assert_eq!(ts.at(98), Some(1.0));
+        assert_eq!(ts.at(99), None);
+        assert_eq!(ts.at(100), Some(5.0));
+    }
+
+    #[test]
+    fn blank_before_keeps_recent() {
+        let mut ts = series(&[1.0, 2.0, 3.0, 4.0]);
+        ts.blank_before(102);
+        assert_eq!(ts.at(100), None);
+        assert_eq!(ts.at(101), None);
+        assert_eq!(ts.at(102), Some(3.0));
+        assert_eq!(ts.at(103), Some(4.0));
+    }
+
+    #[test]
+    fn aggregate_averages_buckets() {
+        let ts = TimeSeries::from_values(10, 0, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+        let agg = ts.aggregate(2);
+        assert_eq!(agg.interval_secs, 20);
+        assert_eq!(agg.values(), &[2.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn aggregate_handles_nan() {
+        let ts = TimeSeries::from_values(10, 0, vec![1.0, f64::NAN, f64::NAN, f64::NAN]);
+        let agg = ts.aggregate(2);
+        assert_eq!(agg.values()[0], 1.0);
+        assert!(agg.values()[1].is_nan());
+    }
+}

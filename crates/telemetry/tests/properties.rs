@@ -1,0 +1,142 @@
+//! Property-based tests for the telemetry substrate.
+
+use murphy_telemetry::{
+    AssociationKind, EntityKind, MetricKind, MonitoringDb, TimeSeries,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn timeseries_set_then_at_round_trips(
+        writes in proptest::collection::vec((0u64..200, -1e6f64..1e6), 1..40)
+    ) {
+        let mut ts = TimeSeries::new(10, 50);
+        for &(tick, value) in &writes {
+            ts.set(tick, value);
+        }
+        // The last write at each tick wins.
+        let mut last: std::collections::BTreeMap<u64, f64> = Default::default();
+        for &(tick, value) in &writes {
+            last.insert(tick, value);
+        }
+        for (&tick, &value) in &last {
+            prop_assert_eq!(ts.at(tick), Some(value));
+        }
+        // Ticks never written are gaps.
+        for probe in 0u64..200 {
+            if !last.contains_key(&probe) {
+                prop_assert_eq!(ts.at(probe), None);
+            }
+        }
+    }
+
+    #[test]
+    fn window_length_matches_range(from in 0u64..100, len in 0u64..100) {
+        let ts = TimeSeries::from_values(10, 20, (0..50).map(|i| i as f64).collect());
+        let w = ts.window(from, from + len, -1.0);
+        prop_assert_eq!(w.len(), len as usize);
+    }
+
+    #[test]
+    fn mean_imputed_window_preserves_present_points(
+        values in proptest::collection::vec(proptest::option::of(-1e3f64..1e3), 10..60)
+    ) {
+        let mut ts = TimeSeries::new(10, 0);
+        for v in &values {
+            ts.push(v.unwrap_or(f64::NAN));
+        }
+        let n = values.len() as u64;
+        let w = ts.window_mean_imputed(0, n, 0.0, 4);
+        prop_assert_eq!(w.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            if let Some(x) = v {
+                prop_assert!((w[i] - x).abs() < 1e-12);
+            } else {
+                prop_assert!(w[i].is_finite(), "gaps must be imputed with finite values");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_preserves_total_up_to_rounding(
+        values in proptest::collection::vec(0.0f64..100.0, 4..40),
+        factor in 1usize..5
+    ) {
+        let ts = TimeSeries::from_values(10, 0, values.clone());
+        let agg = ts.aggregate(factor);
+        // Each aggregated point is the mean of its bucket: the weighted sum
+        // matches the original sum.
+        let mut weighted = 0.0;
+        for (i, &v) in agg.values().iter().enumerate() {
+            let bucket = values.len().saturating_sub(i * factor).min(factor);
+            weighted += v * bucket as f64;
+        }
+        let total: f64 = values.iter().sum();
+        prop_assert!((weighted - total).abs() < 1e-6 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn db_neighbors_are_symmetric_for_undirected(
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 0..30)
+    ) {
+        let mut db = MonitoringDb::new(10);
+        let ids: Vec<_> = (0..10)
+            .map(|i| db.add_entity(EntityKind::Vm, format!("vm{i}")))
+            .collect();
+        for &(a, b) in &edges {
+            if a != b {
+                db.relate(ids[a], ids[b], AssociationKind::Related);
+            }
+        }
+        for &a in &ids {
+            for n in db.neighbors(a) {
+                prop_assert!(db.neighbors(n).contains(&a), "neighbor asymmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_entity_is_idempotent_and_complete(
+        victim in 0usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..15)
+    ) {
+        let mut db = MonitoringDb::new(10);
+        let ids: Vec<_> = (0..6)
+            .map(|i| db.add_entity(EntityKind::Vm, format!("vm{i}")))
+            .collect();
+        for &(a, b) in &edges {
+            if a != b {
+                db.relate(ids[a], ids[b], AssociationKind::Related);
+            }
+        }
+        for &id in &ids {
+            db.record(id, MetricKind::CpuUtil, 0, 1.0);
+        }
+        let v = ids[victim];
+        db.remove_entity(v);
+        db.remove_entity(v); // idempotent
+        prop_assert!(db.entity(v).is_none());
+        prop_assert!(db.neighbors(v).is_empty());
+        prop_assert!(!db.associations().iter().any(|a| a.touches(v)));
+        prop_assert!(db.metrics_of(v).is_empty());
+        // Survivors keep their metrics.
+        for &id in &ids {
+            if id != v {
+                prop_assert!(!db.metrics_of(id).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_in_domain(kind_idx in 0usize..15, value in -1e9f64..1e9) {
+        let kind = MetricKind::ALL[kind_idx];
+        let once = kind.clamp(value);
+        prop_assert_eq!(kind.clamp(once), once, "clamp must be idempotent");
+        prop_assert!(once >= 0.0);
+        if kind.is_percentage() {
+            prop_assert!(once <= 100.0);
+        }
+    }
+}

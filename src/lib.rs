@@ -1,0 +1,58 @@
+//! # Murphy — performance diagnosis for distributed cloud applications
+//!
+//! This is the facade crate of a from-scratch Rust reproduction of
+//! *Murphy: Performance Diagnosis of Distributed Cloud Applications*
+//! (Harsh et al., ACM SIGCOMM 2023). It re-exports every subsystem so that
+//! downstream users can depend on a single crate:
+//!
+//! * [`telemetry`] — entity/metric model and the in-memory monitoring
+//!   database Murphy reads from (stand-in for an enterprise observability
+//!   platform).
+//! * [`graph`] — the relationship graph (§4.1): loose, possibly cyclic
+//!   associations between entities.
+//! * [`stats`] — statistics substrate (Welch t-test, correlation, MASE,
+//!   anomaly scores).
+//! * [`learn`] — metric-prediction models (ridge regression, GMM, SVR,
+//!   MLP) and feature selection.
+//! * [`core`] — the MRF framework, adapted Gibbs sampler, counterfactual
+//!   diagnosis and explanation generation (§4.2–4.3).
+//! * [`baselines`] — reference schemes: NetMedic, ExplainIt, and a
+//!   Sage-style causal-DAG engine.
+//! * [`sim`] — evaluation environments: a DeathStarBench-style
+//!   microservice emulator, fault injection, and enterprise topology /
+//!   incident generators.
+//! * [`experiments`] — runners that regenerate every table and figure of
+//!   the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use murphy::core::{Murphy, MurphyConfig};
+//! use murphy::sim::faults::FaultKind;
+//! use murphy::sim::scenario::{FaultPlan, ScenarioBuilder};
+//!
+//! // Emulate a small microservice app with a CPU contention fault.
+//! let scenario = ScenarioBuilder::hotel_reservation(7)
+//!     .with_fault(FaultPlan::contention(FaultKind::Cpu, 1.6))
+//!     .with_ticks(180)
+//!     .build();
+//!
+//! // Diagnose the problematic symptom with Murphy.
+//! let murphy = Murphy::new(MurphyConfig::fast().with_num_samples(100));
+//! let report = murphy.diagnose(&scenario.db, &scenario.graph, &scenario.symptom);
+//! assert!(!report.root_causes.is_empty());
+//! ```
+//!
+//! See `examples/` for complete, narrated scenarios and `crates/bench` for
+//! the reproduction harness (`cargo run -p murphy-bench --bin repro`).
+
+#![forbid(unsafe_code)]
+
+pub use murphy_baselines as baselines;
+pub use murphy_core as core;
+pub use murphy_experiments as experiments;
+pub use murphy_graph as graph;
+pub use murphy_learn as learn;
+pub use murphy_sim as sim;
+pub use murphy_stats as stats;
+pub use murphy_telemetry as telemetry;

@@ -1,0 +1,102 @@
+//! Cross-crate integration tests: full diagnosis pipelines through the
+//! public facade, from emulation to ranked root causes and explanations.
+
+use murphy::baselines::{DiagnosisScheme, SchemeContext};
+use murphy::core::{Murphy, MurphyConfig};
+use murphy::experiments::schemes::SchemeKind;
+use murphy::graph::{prune_candidates, CycleStats};
+use murphy::sim::faults::FaultKind;
+use murphy::sim::scenario::{FaultPlan, ScenarioBuilder};
+
+#[test]
+fn contention_pipeline_finds_the_faulted_container() {
+    let scenario = ScenarioBuilder::hotel_reservation(71)
+        .with_fault(FaultPlan::contention(FaultKind::Cpu, 1.4))
+        .with_ticks(260)
+        .build();
+    let murphy = Murphy::new(MurphyConfig::fast());
+    let explained = murphy.diagnose_explained(&scenario.db, &scenario.graph, &scenario.symptom);
+    let truth = scenario.ground_truth[0];
+    let rank = explained.report.rank_of(truth);
+    assert!(
+        rank.is_some_and(|r| r <= 5),
+        "faulted container not in top-5: rank {rank:?}, ranked {:?}",
+        explained.report.root_causes
+    );
+    // Explanations align one-to-one with root causes.
+    assert_eq!(
+        explained.explanations.len(),
+        explained.report.root_causes.len()
+    );
+}
+
+#[test]
+fn interference_pipeline_blames_the_aggressor_client() {
+    let scenario = ScenarioBuilder::hotel_reservation(72)
+        .with_fault(FaultPlan::interference(1.2))
+        .with_ticks(260)
+        .build();
+    // The cyclic relationship graph really is cyclic.
+    let cycles = CycleStats::count(&scenario.graph);
+    assert!(cycles.len2 > 0, "interference graph must contain cycles");
+
+    let murphy = Murphy::new(MurphyConfig::fast());
+    let report = murphy.diagnose(&scenario.db, &scenario.graph, &scenario.symptom);
+    let truth = scenario.ground_truth[0];
+    assert!(
+        report.top_k(5).contains(&truth),
+        "aggressor not in top-5: {:?}",
+        report.root_causes
+    );
+}
+
+#[test]
+fn all_four_schemes_run_on_a_shared_context() {
+    let scenario = ScenarioBuilder::social_network(73)
+        .with_fault(FaultPlan::contention(FaultKind::Mem, 1.3))
+        .with_causal_edges(true)
+        .with_ticks(260)
+        .build();
+    let candidates = prune_candidates(&scenario.db, &scenario.graph, scenario.symptom.entity, 1.0);
+    assert!(!candidates.is_empty(), "pruning must leave candidates");
+    let ctx = SchemeContext {
+        db: &scenario.db,
+        graph: &scenario.graph,
+        symptom: scenario.symptom,
+        candidates: &candidates,
+        n_train: 150,
+    };
+    for kind in SchemeKind::ALL {
+        let scheme: Box<dyn DiagnosisScheme> = kind.build(MurphyConfig::fast());
+        let ranked = scheme.diagnose(&ctx);
+        // Every reported entity must come from the shared candidate space.
+        for e in &ranked {
+            assert!(
+                candidates.contains(e),
+                "{}: reported {e:?} outside the candidate space",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn symptom_discovery_and_application_graphs_compose() {
+    let scenario = ScenarioBuilder::hotel_reservation(74)
+        .with_fault(FaultPlan::contention(FaultKind::Disk, 1.5))
+        .with_ticks(260)
+        .build();
+    let murphy = Murphy::new(MurphyConfig::fast());
+    // Appendix A.1: scan the affected application for symptoms.
+    let symptoms = murphy.find_symptoms(&scenario.db, "hotel-reservation");
+    assert!(
+        !symptoms.is_empty(),
+        "threshold scan should surface the incident"
+    );
+    // The scan must include the faulted container's saturated resource.
+    let truth = scenario.ground_truth[0];
+    assert!(
+        symptoms.iter().any(|s| s.entity == truth),
+        "faulted container not among discovered symptoms"
+    );
+}

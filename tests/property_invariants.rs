@@ -1,0 +1,117 @@
+//! Property-based tests on cross-crate invariants.
+//!
+//! proptest drives randomized databases, graphs, and scenarios through
+//! the public API and asserts structural invariants that must hold for
+//! *every* input — graph construction monotonicity, pruning soundness,
+//! diagnosis-output well-formedness.
+
+use murphy::graph::{build_from_seeds, prune_candidates, BuildOptions, ShortestPathSubgraph};
+use murphy::telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use proptest::prelude::*;
+
+/// Build a random database: `n` VMs with random associations and random
+/// CPU levels at tick 0.
+fn arb_db() -> impl Strategy<Value = MonitoringDb> {
+    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 1..24), proptest::collection::vec(0.0f64..100.0, 12))
+        .prop_map(|(n, edges, cpus)| {
+            let mut db = MonitoringDb::new(10);
+            let ids: Vec<EntityId> = (0..n)
+                .map(|i| db.add_entity(EntityKind::Vm, format!("vm{i}")))
+                .collect();
+            for (a, b) in edges {
+                if a < n && b < n && a != b {
+                    db.relate(ids[a], ids[b], AssociationKind::Related);
+                }
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                db.record(id, MetricKind::CpuUtil, 0, cpus[i % cpus.len()]);
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_nodes_subset_of_db_entities(db in arb_db()) {
+        let seeds: Vec<EntityId> = db.entities().take(2).map(|e| e.id).collect();
+        let graph = build_from_seeds(&db, &seeds, BuildOptions::default());
+        for &e in graph.entities() {
+            prop_assert!(db.entity(e).is_some());
+        }
+        // Edge endpoints are graph nodes.
+        for (a, b) in graph.edges() {
+            prop_assert!(graph.contains(a));
+            prop_assert!(graph.contains(b));
+        }
+    }
+
+    #[test]
+    fn hop_limit_is_monotone(db in arb_db()) {
+        let seeds: Vec<EntityId> = db.entities().take(1).map(|e| e.id).collect();
+        let mut prev = 0usize;
+        for hops in 0..4usize {
+            let graph = build_from_seeds(&db, &seeds, BuildOptions { max_hops: Some(hops) });
+            prop_assert!(graph.node_count() >= prev, "hops {hops}: shrank");
+            prev = graph.node_count();
+        }
+        let unlimited = build_from_seeds(&db, &seeds, BuildOptions::default());
+        prop_assert!(unlimited.node_count() >= prev);
+    }
+
+    #[test]
+    fn pruned_candidates_are_graph_members(db in arb_db()) {
+        let Some(seed) = db.entities().next().map(|e| e.id) else { return Ok(()); };
+        let graph = build_from_seeds(&db, &[seed], BuildOptions::default());
+        let candidates = prune_candidates(&db, &graph, seed, 1.0);
+        for c in &candidates {
+            prop_assert!(graph.contains(*c));
+            prop_assert_ne!(*c, seed, "symptom entity must not be a candidate");
+        }
+        // No duplicates.
+        let mut sorted = candidates.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), candidates.len());
+    }
+
+    #[test]
+    fn shortest_path_subgraph_invariants(db in arb_db()) {
+        let entities: Vec<EntityId> = db.entities().map(|e| e.id).collect();
+        if entities.len() < 2 { return Ok(()); }
+        let graph = build_from_seeds(&db, &entities[..1], BuildOptions::default());
+        let (a, d) = (entities[0], entities[entities.len() - 1]);
+        if let Some(sp) = ShortestPathSubgraph::compute_with_slack(&graph, a, d, 2) {
+            // Order never contains the candidate A, ends at D, no dupes.
+            let a_idx = graph.node(a).unwrap();
+            let d_idx = graph.node(d).unwrap();
+            if a != d {
+                prop_assert!(!sp.order.contains(&a_idx));
+            }
+            prop_assert_eq!(*sp.order.last().unwrap(), d_idx);
+            let mut sorted = sp.order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), sp.order.len());
+            // Strict subgraph is contained in the slacked one.
+            let strict = ShortestPathSubgraph::compute(&graph, a, d).unwrap();
+            for v in &strict.order {
+                prop_assert!(sp.order.contains(v), "strict member missing under slack");
+            }
+            prop_assert_eq!(strict.distance, sp.distance);
+        }
+    }
+
+    #[test]
+    fn threshold_scale_monotone_pruning(db in arb_db()) {
+        let Some(seed) = db.entities().next().map(|e| e.id) else { return Ok(()); };
+        let graph = build_from_seeds(&db, &[seed], BuildOptions::default());
+        // A stricter (larger) scale can only shrink the candidate set.
+        let loose = prune_candidates(&db, &graph, seed, 0.5);
+        let strict = prune_candidates(&db, &graph, seed, 2.0);
+        for c in &strict {
+            prop_assert!(loose.contains(c), "strict candidate {c:?} absent from loose set");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration tests for trace/result serialization: the paper published
+//! its DeathStarBench traces; we mirror that by round-tripping the
+//! monitoring database and diagnosis outputs through JSON.
+
+use murphy::core::{Murphy, MurphyConfig};
+use murphy::sim::faults::FaultKind;
+use murphy::sim::scenario::{FaultPlan, ScenarioBuilder};
+use murphy::telemetry::{MetricId, MetricKind, MonitoringDb};
+
+fn scenario() -> murphy::sim::scenario::Scenario {
+    ScenarioBuilder::hotel_reservation(91)
+        .with_fault(FaultPlan::contention(FaultKind::Cpu, 1.2))
+        .with_ticks(120)
+        .build()
+}
+
+#[test]
+fn monitoring_db_round_trips_through_json() {
+    let s = scenario();
+    let json = serde_json::to_string(&s.db).expect("serialize");
+    let restored: MonitoringDb = serde_json::from_str(&json).expect("deserialize");
+
+    assert_eq!(restored.entity_count(), s.db.entity_count());
+    assert_eq!(restored.associations().len(), s.db.associations().len());
+    assert_eq!(restored.latest_tick(), s.db.latest_tick());
+    // Adjacency queries work after deserialization (index is serialized).
+    let some_entity = s.db.entities().next().unwrap().id;
+    assert_eq!(restored.neighbors(some_entity), s.db.neighbors(some_entity));
+    // Series data survives.
+    let m = s.symptom.metric_id();
+    assert_eq!(
+        restored.series(m).map(|x| x.len()),
+        s.db.series(m).map(|x| x.len())
+    );
+}
+
+#[test]
+fn diagnosis_report_round_trips_through_json() {
+    let s = scenario();
+    let murphy = Murphy::new(MurphyConfig::fast());
+    let report = murphy.diagnose(&s.db, &s.graph, &s.symptom);
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    let restored: murphy::core::DiagnosisReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(restored.root_causes.len(), report.root_causes.len());
+    assert_eq!(restored.top_k(5), report.top_k(5));
+}
+
+#[test]
+fn restored_db_supports_fresh_diagnosis() {
+    // The published-traces workflow: emulate once, serialize, let a
+    // downstream user deserialize and diagnose.
+    let s = scenario();
+    let json = serde_json::to_string(&s.db).expect("serialize");
+    let restored: MonitoringDb = serde_json::from_str(&json).expect("deserialize");
+    let murphy = Murphy::new(MurphyConfig::fast());
+    let graph = murphy.graph_for_entity(
+        &restored,
+        s.symptom.entity,
+        murphy::graph::BuildOptions::default(),
+    );
+    let report = murphy.diagnose(&restored, &graph, &s.symptom);
+    assert!(report.candidates_evaluated > 0);
+}
+
+#[test]
+fn metric_values_survive_exactly() {
+    let s = scenario();
+    let json = serde_json::to_string(&s.db).expect("serialize");
+    let restored: MonitoringDb = serde_json::from_str(&json).expect("deserialize");
+    let truth = s.ground_truth[0];
+    let m = MetricId::new(truth, MetricKind::CpuUtil);
+    let a = s.db.series(m).expect("series");
+    let b = restored.series(m).expect("series");
+    for t in 0..a.end_tick() {
+        let (x, y) = (a.at(t), b.at(t));
+        match (x, y) {
+            (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits(), "tick {t}"),
+            (None, None) => {}
+            other => panic!("tick {t}: mismatch {other:?}"),
+        }
+    }
+}
