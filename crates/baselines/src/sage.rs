@@ -205,8 +205,8 @@ impl DiagnosisScheme for Sage {
                 models.push(None);
                 continue;
             }
-            let cand_cols: Vec<Vec<f64>> =
-                parent_positions.iter().map(|&p| columns[p].clone()).collect();
+            let cand_cols: Vec<&[f64]> =
+                parent_positions.iter().map(|&p| columns[p].as_slice()).collect();
             let chosen = select_top_features(&cand_cols, &columns[i], self.feature_budget);
             let feats: Vec<usize> = chosen.iter().map(|&c| parent_positions[c]).collect();
             let rows: Vec<Vec<f64>> = (0..len)

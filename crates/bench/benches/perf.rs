@@ -3,11 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::sampler::{resample_planned, resample_subgraph, ResamplePlan};
 use murphy_core::training::{train_mrf, TrainingWindow};
 use murphy_core::MurphyConfig;
-use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
+use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions, ShortestPathSubgraph};
 use murphy_sim::enterprise::{generate, EnterpriseConfig};
 use murphy_sim::incidents::{build_incident, TABLE1};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_training_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf_training_vs_graph_size");
@@ -67,5 +70,55 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training_scale, bench_end_to_end);
+/// The inner Gibbs kernel in isolation: the allocation-free planned path
+/// (plan + scratch built once, as `evaluate_candidate` does per candidate)
+/// against the convenience wrapper that rebuilds both every call. The gap
+/// between the two is the per-draw setup cost the candidate loop no longer
+/// pays.
+fn bench_gibbs_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_gibbs_kernel");
+    let scenario = build_incident(TABLE1[1], 42);
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(
+        &scenario.db,
+        &scenario.graph,
+        &config,
+        TrainingWindow::online(&scenario.db, 150),
+        scenario.db.latest_tick(),
+    );
+    let symptom = scenario.symptom.entity;
+    let source = prune_candidates(&scenario.db, &scenario.graph, symptom, 1.0)
+        .first()
+        .copied()
+        .unwrap_or(symptom);
+    let sp = ShortestPathSubgraph::compute_with_slack(
+        &scenario.graph,
+        source,
+        symptom,
+        config.subgraph_slack,
+    )
+    .expect("candidate reaches the symptom");
+
+    let plan = ResamplePlan::new(&mrf, &scenario.graph, &sp);
+    group.bench_function("planned_scratch_reuse", |b| {
+        let mut state = mrf.current.clone();
+        let mut scratch = plan.scratch();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            resample_planned(&mrf, &plan, &mut state, config.gibbs_rounds, &mut rng, &mut scratch);
+            std::hint::black_box(state[0])
+        })
+    });
+    group.bench_function("rebuild_per_call", |b| {
+        let mut state = mrf.current.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            resample_subgraph(&mrf, &scenario.graph, &sp, &mut state, config.gibbs_rounds, &mut rng);
+            std::hint::black_box(state[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_scale, bench_end_to_end, bench_gibbs_kernel);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the Murphy paper.
 //!
 //! ```text
-//! repro [--scale fast|default|paper] [experiment ...]
+//! repro [--scale fast|default|paper] [--out FILE] [experiment ...]
 //!
 //! experiments: fig5c fig5d table1 fig6a fig6 table2 fig7 fig8a fig8b cycles all
 //! ```
@@ -9,6 +9,11 @@
 //! Each experiment prints the paper-shaped rows/series; absolute numbers
 //! come from the emulated substrates and are expected to match the paper
 //! in *shape* (who wins, rough factors, crossovers), not in magnitude.
+//!
+//! The extra `bench` mode times online training and per-symptom diagnosis
+//! at the requested scale and *appends* one record to a JSON trajectory
+//! file (`--out`, default `BENCH_perf.json`), so successive runs — across
+//! commits or `MURPHY_THREADS` settings — form a comparable history.
 
 use murphy_bench::Scale;
 use murphy_core::MurphyConfig;
@@ -21,6 +26,7 @@ use murphy_learn::ModelKind;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Fast;
+    let mut out = String::from("BENCH_perf.json");
     let mut experiments: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -35,9 +41,12 @@ fn main() {
                     }
                 }
             }
+            "--out" => {
+                out = iter.next().cloned().unwrap_or(out);
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale fast|default|paper] [fig5c fig5d table1 fig6a fig6 table2 fig7 fig8a fig8b cycles sensitivity perf all]"
+                    "repro [--scale fast|default|paper] [--out FILE] [fig5c fig5d table1 fig6a fig6 table2 fig7 fig8a fig8b cycles sensitivity perf bench all]"
                 );
                 return;
             }
@@ -65,6 +74,7 @@ fn main() {
             "cycles" => run_cycles(),
             "sensitivity" => run_sensitivity(scale),
             "perf" => run_perf(scale),
+            "bench" => run_bench(scale, &out),
             other => eprintln!("unknown experiment '{other}', skipping"),
         }
     }
@@ -319,12 +329,17 @@ fn run_sensitivity(scale: Scale) {
     }
 }
 
-fn run_perf(scale: Scale) {
-    let (apps, murphy) = match scale {
+/// Estate sizes and engine parameters for the §6.7 runtime measurements.
+fn perf_setup(scale: Scale) -> (Vec<usize>, MurphyConfig) {
+    match scale {
         Scale::Fast => (vec![1usize, 3], MurphyConfig::fast().with_num_samples(100)),
         Scale::Default => (vec![2usize, 6, 12], MurphyConfig::fast().with_num_samples(400)),
         Scale::Paper => (vec![6usize, 12, 24, 48], MurphyConfig::paper()),
-    };
+    }
+}
+
+fn run_perf(scale: Scale) {
+    let (apps, murphy) = perf_setup(scale);
     let points = perf::run(&apps, murphy);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -347,4 +362,53 @@ fn run_perf(scale: Scale) {
             &rows,
         )
     );
+}
+
+/// Time train+diagnose at the requested scale and append one record to the
+/// JSON trajectory file, so runs across commits (or thread counts) can be
+/// compared: `jq '.[].total_ms' BENCH_perf.json`.
+fn run_bench(scale: Scale, out: &str) {
+    let (apps, murphy) = perf_setup(scale);
+    let wall = std::time::Instant::now();
+    let points = perf::run(&apps, murphy);
+    let total_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let train_ms: f64 = points.iter().map(|p| p.train_ms).sum();
+    let diagnose_ms: f64 = points.iter().map(|p| p.diagnose_ms).sum();
+    let unix_time_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let record = serde_json::json!({
+        "unix_time_secs": unix_time_secs,
+        "scale": format!("{scale:?}").to_lowercase(),
+        "threads": murphy_core::pool::global().threads(),
+        "train_ms": train_ms,
+        "diagnose_ms": diagnose_ms,
+        "total_ms": total_ms,
+        "points": points,
+    });
+
+    let mut trajectory: Vec<serde_json::Value> = std::fs::read_to_string(out)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    trajectory.push(record);
+    match serde_json::to_string_pretty(&trajectory) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out, json + "\n") {
+                eprintln!("failed to write {out}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "bench: scale {scale:?}, {} threads — train {train_ms:.0} ms, diagnose {diagnose_ms:.0} ms, total {total_ms:.0} ms",
+                murphy_core::pool::global().threads(),
+            );
+            println!("bench: appended record #{} to {out}", trajectory.len());
+        }
+        Err(e) => {
+            eprintln!("failed to serialize bench record: {e}");
+            std::process::exit(1);
+        }
+    }
 }

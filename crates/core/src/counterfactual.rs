@@ -15,7 +15,7 @@
 use crate::config::MurphyConfig;
 use crate::diagnose::Symptom;
 use crate::mrf::MrfModel;
-use crate::sampler::{resample_subgraph, touched_positions};
+use crate::sampler::{resample_planned, ResamplePlan};
 use murphy_graph::{RelationshipGraph, ShortestPathSubgraph};
 use murphy_stats::{welch_t_test, TTestResult};
 use murphy_telemetry::EntityId;
@@ -89,23 +89,27 @@ pub fn evaluate_candidate(
         pins.push((p, cf, mrf.current[p]));
     }
 
-    let touched = touched_positions(mrf, graph, &subgraph);
+    // Everything the draw loop needs is computed once, up front: the
+    // resampling schedule, the save/restore set (exactly the positions a
+    // run can mutate), and the feature scratch buffer. The loop itself —
+    // restore, pin, resample, read — then runs without heap allocation.
+    let plan = ResamplePlan::new(mrf, graph, &subgraph);
+    let mut scratch = plan.scratch();
     let mut rng = StdRng::seed_from_u64(seed);
     let n = config.num_samples.max(2);
 
     let mut state = mrf.current.clone();
-    let saved: Vec<f64> = touched.iter().map(|&p| state[p]).collect();
+    let saved: Vec<f64> = plan.positions().iter().map(|&p| state[p]).collect();
     let mut draw = |counterfactual: bool, rng: &mut StdRng| -> Vec<f64> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            // Restore the touched region, pin A's state, resample.
-            for (&p, &v) in touched.iter().zip(&saved) {
+            for (&p, &v) in plan.positions().iter().zip(&saved) {
                 state[p] = v;
             }
             for &(p, cf, cur) in &pins {
                 state[p] = if counterfactual { cf } else { cur };
             }
-            resample_subgraph(mrf, graph, &subgraph, &mut state, config.gibbs_rounds, rng);
+            resample_planned(mrf, &plan, &mut state, config.gibbs_rounds, rng, &mut scratch);
             out.push(state[symptom_pos]);
             for &(p, _, cur) in &pins {
                 state[p] = cur;

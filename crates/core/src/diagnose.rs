@@ -179,32 +179,11 @@ fn parallel_evaluate(
     candidates: &[EntityId],
     config: &MurphyConfig,
 ) -> Vec<(EntityId, Option<CandidateVerdict>)> {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(candidates.len());
-    let mut results: Vec<Option<(EntityId, Option<CandidateVerdict>)>> =
-        vec![None; candidates.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
-                }
-                let c = candidates[i];
-                let seed = candidate_seed(config.seed, c);
-                let verdict = evaluate_candidate(mrf, graph, symptom, c, config, seed);
-                results_mutex.lock()[i] = Some((c, verdict));
-            });
-        }
+    crate::pool::global().run_indexed(candidates.len(), |i| {
+        let c = candidates[i];
+        let seed = candidate_seed(config.seed, c);
+        (c, evaluate_candidate(mrf, graph, symptom, c, config, seed))
     })
-    .expect("candidate evaluation thread panicked");
-
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]

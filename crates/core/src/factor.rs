@@ -30,17 +30,43 @@ impl Factor {
         self.feature_positions.iter().map(|&i| state[i]).collect()
     }
 
+    /// Gather this factor's features into a caller-provided scratch buffer.
+    ///
+    /// The buffer is cleared and refilled; once its capacity covers the
+    /// factor's feature count (at most the configured feature budget) the
+    /// gather performs no heap allocation — this is what keeps the Gibbs
+    /// inner loop allocation-free across millions of draws.
+    pub fn gather_into(&self, state: &[f64], buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.feature_positions.iter().map(|&i| state[i]));
+    }
+
     /// Point prediction of the target from the current state.
     pub fn predict(&self, state: &[f64]) -> f64 {
-        let x = self.features_from(state);
-        self.target.kind.clamp(self.model.predict(&x))
+        let mut buf = Vec::with_capacity(self.feature_positions.len());
+        self.predict_into(state, &mut buf)
+    }
+
+    /// Allocation-free point prediction using a caller-provided scratch
+    /// buffer for the feature gather.
+    pub fn predict_into(&self, state: &[f64], buf: &mut Vec<f64>) -> f64 {
+        self.gather_into(state, buf);
+        self.target.kind.clamp(self.model.predict(buf))
     }
 
     /// Draw one sample of the target given the current state, clamped to
     /// the metric's physical domain (percentages in [0, 100], rates ≥ 0).
     pub fn sample<R: Rng>(&self, state: &[f64], rng: &mut R) -> f64 {
-        let x = self.features_from(state);
-        self.target.kind.clamp(self.model.sample(&x, rng))
+        let mut buf = Vec::with_capacity(self.feature_positions.len());
+        self.sample_into(state, &mut buf, rng)
+    }
+
+    /// Allocation-free sampling using a caller-provided scratch buffer for
+    /// the feature gather. Draws are bit-identical to [`Factor::sample`]
+    /// for the same RNG state.
+    pub fn sample_into<R: Rng>(&self, state: &[f64], buf: &mut Vec<f64>, rng: &mut R) -> f64 {
+        self.gather_into(state, buf);
+        self.target.kind.clamp(self.model.sample(buf, rng))
     }
 }
 

@@ -35,6 +35,7 @@ pub mod factor;
 pub mod labels;
 pub mod mrf;
 pub mod murphy;
+pub mod pool;
 pub mod ranking;
 pub mod sampler;
 pub mod training;
@@ -46,3 +47,4 @@ pub use explain::{Explanation, ExplanationStep};
 pub use labels::EntityLabel;
 pub use mrf::MrfModel;
 pub use murphy::Murphy;
+pub use pool::WorkerPool;

@@ -1,0 +1,154 @@
+//! A small shared worker pool for Murphy's embarrassingly parallel stages.
+//!
+//! Two hot phases of the pipeline fan out over independent work items:
+//! online MRF training (one factor fit per entity metric) and candidate
+//! evaluation (one counterfactual test per candidate). Both now run through
+//! the same [`WorkerPool`], which centralizes
+//!
+//! * **sizing** — `MURPHY_THREADS` overrides the thread count (useful for
+//!   benchmarking scaling curves and for pinning CI), defaulting to the
+//!   machine's available parallelism;
+//! * **scheduling** — workers pull indices from a shared atomic counter,
+//!   so an expensive item (a far candidate with a large subgraph) does not
+//!   stall a statically assigned partner;
+//! * **result placement** — each worker publishes into its item's dedicated
+//!   [`OnceLock`] slot, a per-slot lock-free write; no mutex guards the
+//!   results vector and items complete independently.
+//!
+//! The pool dispatches each batch on crossbeam's scoped threads: the whole
+//! workspace is `#![forbid(unsafe_code)]`, and parking OS threads across
+//! batches while handing them borrowed closures requires exactly the
+//! lifetime-erasing machinery crossbeam's scope already encapsulates.
+//! Spawn cost is amortized over batches of factor fits or candidate
+//! evaluations that each run for milliseconds to seconds, and the process
+//! shares one lazily sized [`global`] pool, so no per-call-site sizing or
+//! ad-hoc thread code remains.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A sized pool for running batches of independent indexed jobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool with an explicit thread count (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized from the environment: `MURPHY_THREADS` when set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MURPHY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(4);
+        Self::new(threads)
+    }
+
+    /// Configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0..n_jobs)` across the pool and return the results in index
+    /// order.
+    ///
+    /// Work is pulled from a shared atomic counter (dynamic load balance)
+    /// and each result is written to its own pre-allocated slot, so the
+    /// output order — and therefore every downstream ranking — is
+    /// independent of thread interleaving. With one thread or one job the
+    /// batch runs inline on the caller's thread.
+    pub fn run_indexed<T, F>(&self, n_jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n_jobs == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n_jobs);
+        if workers <= 1 {
+            return (0..n_jobs).map(f).collect();
+        }
+        let slots: Vec<OnceLock<T>> = (0..n_jobs).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    let _ = slots[i].set(f(i));
+                });
+            }
+        })
+        .expect("worker pool thread panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
+
+/// The process-wide pool, sized once (from `MURPHY_THREADS` or the
+/// machine) on first use and shared by training and diagnosis.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.run_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run_indexed(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn thread_count_floors_at_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = WorkerPool::new(1).run_indexed(257, |i| (i as f64).sqrt());
+        let par = WorkerPool::new(8).run_indexed(257, |i| (i as f64).sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        let a = global().threads();
+        let b = global().threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+    }
+}

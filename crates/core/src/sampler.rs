@@ -9,8 +9,52 @@
 
 use crate::mrf::MrfModel;
 use murphy_graph::{RelationshipGraph, ShortestPathSubgraph};
-use murphy_telemetry::EntityId;
 use rand::Rng;
+
+/// A precomputed resampling schedule for one shortest-path subgraph.
+///
+/// Building the schedule walks the subgraph's entity order once and flattens
+/// it to the factor-bearing metric positions, in the exact order the naive
+/// resampler visits them. The candidate-evaluation loop builds one plan per
+/// candidate and replays it for every one of the thousands of draws, instead
+/// of rebuilding entity lists inside the draw loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResamplePlan {
+    /// Factor-bearing metric positions in resampling order.
+    order: Vec<usize>,
+    /// Largest feature count among the planned factors (scratch sizing).
+    max_features: usize,
+}
+
+impl ResamplePlan {
+    /// Flatten a subgraph's entity order into a metric-position schedule.
+    pub fn new(mrf: &MrfModel, graph: &RelationshipGraph, subgraph: &ShortestPathSubgraph) -> Self {
+        let mut order = Vec::new();
+        let mut max_features = 0;
+        for e in subgraph.entities(graph) {
+            for &pos in mrf.index.entity_positions(e) {
+                if let Some(factor) = &mrf.factors[pos] {
+                    max_features = max_features.max(factor.feature_positions.len());
+                    order.push(pos);
+                }
+            }
+        }
+        Self { order, max_features }
+    }
+
+    /// The planned metric positions, in resampling order. These are exactly
+    /// the positions a resampling run can mutate — the minimal save/restore
+    /// set between draws.
+    pub fn positions(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// A scratch buffer sized for the widest planned factor, so the first
+    /// draw already gathers without growing.
+    pub fn scratch(&self) -> Vec<f64> {
+        Vec::with_capacity(self.max_features)
+    }
+}
 
 /// One resampling run over a shortest-path subgraph.
 ///
@@ -27,14 +71,28 @@ pub fn resample_subgraph<R: Rng>(
     gibbs_rounds: usize,
     rng: &mut R,
 ) {
-    let entities: Vec<EntityId> = subgraph.entities(graph);
+    let plan = ResamplePlan::new(mrf, graph, subgraph);
+    let mut scratch = plan.scratch();
+    resample_planned(mrf, &plan, state, gibbs_rounds, rng, &mut scratch);
+}
+
+/// One resampling run over a precomputed [`ResamplePlan`].
+///
+/// Identical draws to [`resample_subgraph`] (the RNG is consumed in the
+/// same factor order), but with zero heap allocation per call: the feature
+/// gather reuses `scratch` and the schedule reuses the plan.
+pub fn resample_planned<R: Rng>(
+    mrf: &MrfModel,
+    plan: &ResamplePlan,
+    state: &mut [f64],
+    gibbs_rounds: usize,
+    rng: &mut R,
+    scratch: &mut Vec<f64>,
+) {
     for _round in 0..gibbs_rounds.max(1) {
-        for &e in &entities {
-            for &pos in mrf.index.entity_positions(e) {
-                if let Some(factor) = &mrf.factors[pos] {
-                    state[pos] = factor.sample(state, rng);
-                }
-            }
+        for &pos in &plan.order {
+            let factor = mrf.factors[pos].as_ref().expect("plan holds factor positions");
+            state[pos] = factor.sample_into(state, scratch, rng);
         }
     }
 }

@@ -112,13 +112,7 @@ pub fn train_mrf_blended(
     blend: BlendedWindow,
     current_tick: u64,
 ) -> MrfModel {
-    let mut ids: Vec<MetricId> = Vec::new();
-    for &e in graph.entities() {
-        for kind in entity_metric_kinds(db, e) {
-            ids.push(MetricId::new(e, kind));
-        }
-    }
-    let index = MetricIndex::new(ids);
+    let index = metric_index_for(db, graph);
     let ticks = blend.ticks();
 
     let columns: Vec<Vec<f64>> = index
@@ -141,56 +135,13 @@ pub fn train_mrf_blended(
                 .collect()
         })
         .collect();
-    let current: Vec<f64> = index.ids().iter().map(|&m| db.value_at(m, current_tick)).collect();
-    let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
     let offline_len = blend.offline.len();
     let reference: Vec<Summary> = columns
         .iter()
         .map(|c| Summary::of(&c[..offline_len.min(c.len())]))
         .collect();
 
-    let mut factors = Vec::with_capacity(index.len());
-    for pos in 0..index.len() {
-        let target_id = index.id(pos);
-        let target_col = &columns[pos];
-        if target_col.is_empty() {
-            factors.push(None);
-            continue;
-        }
-        let mut candidate_positions: Vec<usize> = Vec::new();
-        for n in graph.in_nbr_entities(target_id.entity) {
-            candidate_positions.extend_from_slice(index.entity_positions(n));
-        }
-        let candidate_cols: Vec<Vec<f64>> = candidate_positions
-            .iter()
-            .map(|&p| columns[p].clone())
-            .collect();
-        let chosen = select_top_features(&candidate_cols, target_col, config.feature_budget);
-        let feature_positions: Vec<usize> =
-            chosen.iter().map(|&i| candidate_positions[i]).collect();
-        let feature_ids: Vec<MetricId> = feature_positions.iter().map(|&p| index.id(p)).collect();
-        let rows: Vec<Vec<f64>> = (0..target_col.len())
-            .map(|t| feature_positions.iter().map(|&p| columns[p][t]).collect())
-            .collect();
-        let seed = config.seed ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        match TrainedModel::fit(config.model, &rows, target_col, seed) {
-            Ok(model) => factors.push(Some(Factor {
-                target: target_id,
-                feature_positions,
-                feature_ids,
-                model,
-            })),
-            Err(_) => factors.push(None),
-        }
-    }
-
-    MrfModel {
-        index,
-        factors,
-        current,
-        history,
-        reference,
-    }
+    assemble_mrf(db, graph, config, index, columns, reference, current_tick, true)
 }
 
 /// Metric kinds for an entity: observed ones if any, otherwise the
@@ -218,16 +169,9 @@ pub fn train_mrf(
     window: TrainingWindow,
     current_tick: u64,
 ) -> MrfModel {
-    // 1. Index every (entity, metric) of the graph.
-    let mut ids: Vec<MetricId> = Vec::new();
-    for &e in graph.entities() {
-        for kind in entity_metric_kinds(db, e) {
-            ids.push(MetricId::new(e, kind));
-        }
-    }
-    let index = MetricIndex::new(ids);
+    let index = metric_index_for(db, graph);
 
-    // 2. Extract training columns and current values once per metric.
+    // Extract training columns once per metric.
     let columns: Vec<Vec<f64>> = index
         .ids()
         .iter()
@@ -238,8 +182,6 @@ pub fn train_mrf(
             None => vec![m.kind.default_value(); window.len()],
         })
         .collect();
-    let current: Vec<f64> = index.ids().iter().map(|&m| db.value_at(m, current_tick)).collect();
-    let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
     // Reference = the older half of the window: an ongoing incident at the
     // window's tail must not inflate the anomaly-scoring baseline.
     let reference: Vec<Summary> = columns
@@ -247,43 +189,45 @@ pub fn train_mrf(
         .map(|c| Summary::of(&c[..c.len() / 2]))
         .collect();
 
-    // 3. Fit one factor per metric from its in-neighbors' metrics.
-    let mut factors: Vec<Option<Factor>> = Vec::with_capacity(index.len());
-    for pos in 0..index.len() {
-        let target_id = index.id(pos);
-        let target_col = &columns[pos];
-        if window.is_empty() || target_col.is_empty() {
-            factors.push(None);
-            continue;
-        }
-        // Candidate features: all metrics of incoming neighbor entities.
-        let mut candidate_positions: Vec<usize> = Vec::new();
-        for n in graph.in_nbr_entities(target_id.entity) {
-            candidate_positions.extend_from_slice(index.entity_positions(n));
-        }
-        let candidate_cols: Vec<Vec<f64>> = candidate_positions
-            .iter()
-            .map(|&p| columns[p].clone())
-            .collect();
-        let chosen = select_top_features(&candidate_cols, target_col, config.feature_budget);
-        let feature_positions: Vec<usize> = chosen.iter().map(|&i| candidate_positions[i]).collect();
-        let feature_ids: Vec<MetricId> = feature_positions.iter().map(|&p| index.id(p)).collect();
+    assemble_mrf(db, graph, config, index, columns, reference, current_tick, !window.is_empty())
+}
 
-        // Assemble training rows.
-        let rows: Vec<Vec<f64>> = (0..target_col.len())
-            .map(|t| feature_positions.iter().map(|&p| columns[p][t]).collect())
-            .collect();
-        let seed = config.seed ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        match TrainedModel::fit(config.model, &rows, target_col, seed) {
-            Ok(model) => factors.push(Some(Factor {
-                target: target_id,
-                feature_positions,
-                feature_ids,
-                model,
-            })),
-            Err(_) => factors.push(None),
+/// Index every (entity, metric) pair of the graph.
+fn metric_index_for(db: &MonitoringDb, graph: &RelationshipGraph) -> MetricIndex {
+    let mut ids: Vec<MetricId> = Vec::new();
+    for &e in graph.entities() {
+        for kind in entity_metric_kinds(db, e) {
+            ids.push(MetricId::new(e, kind));
         }
     }
+    MetricIndex::new(ids)
+}
+
+/// The shared back half of training: current state, history summaries, and
+/// the factor fits over prepared training columns. Both the online and the
+/// blended trainers feed into this, so the (parallel) fit loop exists in
+/// exactly one place.
+#[allow(clippy::too_many_arguments)]
+fn assemble_mrf(
+    db: &MonitoringDb,
+    graph: &RelationshipGraph,
+    config: &MurphyConfig,
+    index: MetricIndex,
+    columns: Vec<Vec<f64>>,
+    reference: Vec<Summary>,
+    current_tick: u64,
+    trainable: bool,
+) -> MrfModel {
+    let current: Vec<f64> = index.ids().iter().map(|&m| db.value_at(m, current_tick)).collect();
+    let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
+
+    // Fit one factor per metric from its in-neighbors' metrics. The fits
+    // are independent (each reads the shared columns, none writes), with
+    // deterministic per-position seeds — so the pool can fan them out and
+    // still produce a bit-identical model to a sequential fit.
+    let factors: Vec<Option<Factor>> = crate::pool::global().run_indexed(index.len(), |pos| {
+        fit_factor(graph, config, &index, &columns, pos, trainable)
+    });
 
     MrfModel {
         index,
@@ -291,6 +235,52 @@ pub fn train_mrf(
         current,
         history,
         reference,
+    }
+}
+
+/// Fit the factor for one metric position, or `None` when no usable model
+/// exists (empty window, no data, or a numeric failure).
+fn fit_factor(
+    graph: &RelationshipGraph,
+    config: &MurphyConfig,
+    index: &MetricIndex,
+    columns: &[Vec<f64>],
+    pos: usize,
+    trainable: bool,
+) -> Option<Factor> {
+    let target_id = index.id(pos);
+    let target_col = columns[pos].as_slice();
+    if !trainable || target_col.is_empty() {
+        return None;
+    }
+    // Candidate features: all metrics of incoming neighbor entities,
+    // borrowed as slices from the shared column store — no per-factor
+    // cloning of the training series.
+    let mut candidate_positions: Vec<usize> = Vec::new();
+    for n in graph.in_nbr_entities(target_id.entity) {
+        candidate_positions.extend_from_slice(index.entity_positions(n));
+    }
+    let candidate_cols: Vec<&[f64]> = candidate_positions
+        .iter()
+        .map(|&p| columns[p].as_slice())
+        .collect();
+    let chosen = select_top_features(&candidate_cols, target_col, config.feature_budget);
+    let feature_positions: Vec<usize> = chosen.iter().map(|&i| candidate_positions[i]).collect();
+    let feature_ids: Vec<MetricId> = feature_positions.iter().map(|&p| index.id(p)).collect();
+
+    // Assemble training rows.
+    let rows: Vec<Vec<f64>> = (0..target_col.len())
+        .map(|t| feature_positions.iter().map(|&p| columns[p][t]).collect())
+        .collect();
+    let seed = config.seed ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    match TrainedModel::fit(config.model, &rows, target_col, seed) {
+        Ok(model) => Some(Factor {
+            target: target_id,
+            feature_positions,
+            feature_ids,
+            model,
+        }),
+        Err(_) => None,
     }
 }
 

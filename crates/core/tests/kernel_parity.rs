@@ -1,0 +1,185 @@
+//! Seed-parity regression tests for the allocation-free sampling kernel.
+//!
+//! The optimized path (scratch-buffer feature gather + precomputed
+//! [`ResamplePlan`]) must consume the RNG in exactly the order the naive
+//! allocate-per-call path did, so fixed-seed diagnosis output stays
+//! bit-identical across the optimization. These tests pin that contract.
+
+use murphy_core::config::MurphyConfig;
+use murphy_core::factor::Factor;
+use murphy_core::mrf::MrfModel;
+use murphy_core::sampler::{resample_planned, resample_subgraph, touched_positions, ResamplePlan};
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph, ShortestPathSubgraph};
+use murphy_learn::{ModelKind, TrainedModel};
+use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricId, MetricKind, MonitoringDb};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 4-entity diamond a → {b, c} → d with coupled CPU metrics.
+fn diamond_env() -> (MonitoringDb, RelationshipGraph, [EntityId; 4]) {
+    let mut db = MonitoringDb::new(10);
+    let a = db.add_entity(EntityKind::Vm, "a");
+    let b = db.add_entity(EntityKind::Vm, "b");
+    let c = db.add_entity(EntityKind::Vm, "c");
+    let d = db.add_entity(EntityKind::Vm, "d");
+    db.relate(a, b, AssociationKind::Related);
+    db.relate(a, c, AssociationKind::Related);
+    db.relate(b, d, AssociationKind::Related);
+    db.relate(c, d, AssociationKind::Related);
+    for t in 0..140u64 {
+        let base = 25.0 + 12.0 * ((t as f64) * 0.23).sin();
+        db.record(a, MetricKind::CpuUtil, t, base);
+        db.record(b, MetricKind::CpuUtil, t, 0.7 * base + 4.0);
+        db.record(c, MetricKind::CpuUtil, t, 0.5 * base + 9.0);
+        db.record(d, MetricKind::CpuUtil, t, (0.4 * base + 0.3 * base + 2.0).min(100.0));
+    }
+    let graph = build_from_seeds(&db, &[a], BuildOptions::default());
+    (db, graph, [a, b, c, d])
+}
+
+/// The seed implementation of the resampling pass, verbatim: iterate the
+/// subgraph's entity order and redraw each factored metric with the
+/// allocate-per-call [`Factor::sample`].
+fn naive_resample<R: Rng>(
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    subgraph: &ShortestPathSubgraph,
+    state: &mut [f64],
+    gibbs_rounds: usize,
+    rng: &mut R,
+) {
+    let entities = subgraph.entities(graph);
+    for _round in 0..gibbs_rounds.max(1) {
+        for &e in &entities {
+            for &pos in mrf.index.entity_positions(e) {
+                if let Some(factor) = &mrf.factors[pos] {
+                    state[pos] = factor.sample(state, rng);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_kernel_matches_naive_kernel_bit_for_bit() {
+    let (db, graph, [a, _, _, d]) = diamond_env();
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 120), db.latest_tick());
+    let sp = ShortestPathSubgraph::compute_with_slack(&graph, a, d, config.subgraph_slack).unwrap();
+    let plan = ResamplePlan::new(&mrf, &graph, &sp);
+    let mut scratch = plan.scratch();
+
+    for seed in 0..4u64 {
+        let mut naive_state = mrf.current.clone();
+        let mut planned_state = mrf.current.clone();
+        let mut naive_rng = StdRng::seed_from_u64(seed);
+        let mut planned_rng = StdRng::seed_from_u64(seed);
+        // Many consecutive draws: any divergence in RNG consumption order
+        // compounds and is caught by the bitwise comparison.
+        for draw in 0..25 {
+            naive_resample(&mrf, &graph, &sp, &mut naive_state, 4, &mut naive_rng);
+            resample_planned(&mrf, &plan, &mut planned_state, 4, &mut planned_rng, &mut scratch);
+            for (i, (x, y)) in naive_state.iter().zip(&planned_state).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "divergence at metric {i}, draw {draw}, seed {seed}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wrapper_resample_matches_naive() {
+    let (db, graph, [a, _, _, d]) = diamond_env();
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 120), db.latest_tick());
+    let sp = ShortestPathSubgraph::compute(&graph, a, d).unwrap();
+
+    let mut naive_state = mrf.current.clone();
+    let mut wrapper_state = mrf.current.clone();
+    let mut naive_rng = StdRng::seed_from_u64(7);
+    let mut wrapper_rng = StdRng::seed_from_u64(7);
+    naive_resample(&mrf, &graph, &sp, &mut naive_state, 4, &mut naive_rng);
+    resample_subgraph(&mrf, &graph, &sp, &mut wrapper_state, 4, &mut wrapper_rng);
+    for (x, y) in naive_state.iter().zip(&wrapper_state) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn plan_positions_are_the_factored_touched_subset() {
+    let (db, graph, [a, _, _, d]) = diamond_env();
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 120), db.latest_tick());
+    let sp = ShortestPathSubgraph::compute_with_slack(&graph, a, d, config.subgraph_slack).unwrap();
+    let plan = ResamplePlan::new(&mrf, &graph, &sp);
+    let touched = touched_positions(&mrf, &graph, &sp);
+    for &pos in plan.positions() {
+        assert!(touched.contains(&pos), "planned position {pos} outside the subgraph");
+        assert!(mrf.factors[pos].is_some(), "planned position {pos} has no factor");
+    }
+    // Every factored touched position is planned — nothing is skipped.
+    for &pos in &touched {
+        if mrf.factors[pos].is_some() {
+            assert!(plan.positions().contains(&pos));
+        }
+    }
+    assert!(plan.scratch().capacity() >= config.feature_budget.min(1));
+}
+
+/// A hand-built ridge factor reading positions [1, 3, 5] of a 7-wide state.
+fn test_factor() -> Factor {
+    let xs: Vec<Vec<f64>> = (0..80)
+        .map(|i| vec![i as f64, ((i * 3) % 11) as f64, ((i * 7) % 5) as f64])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|r| 0.4 * r[0] - 1.2 * r[1] + 2.0 * r[2] + 3.0).collect();
+    let model = TrainedModel::fit(ModelKind::Ridge, &xs, &ys, 0).unwrap();
+    Factor {
+        target: MetricId::new(EntityId(0), MetricKind::CpuUtil),
+        feature_positions: vec![1, 3, 5],
+        feature_ids: vec![
+            MetricId::new(EntityId(1), MetricKind::CpuUtil),
+            MetricId::new(EntityId(2), MetricKind::CpuUtil),
+            MetricId::new(EntityId(3), MetricKind::CpuUtil),
+        ],
+        model,
+    }
+}
+
+proptest! {
+    /// `sample_into` must agree bit-for-bit with `sample` for arbitrary
+    /// states and seeds, even when the scratch buffer carries junk from a
+    /// previous gather.
+    #[test]
+    fn sample_into_matches_sample(
+        state in proptest::collection::vec(-1e3f64..1e3, 7),
+        junk in proptest::collection::vec(-1e6f64..1e6, 0..6),
+        seed in any::<u64>(),
+    ) {
+        let factor = test_factor();
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut buf = junk;
+        let plain = factor.sample(&state, &mut rng_a);
+        let scratched = factor.sample_into(&state, &mut buf, &mut rng_b);
+        prop_assert_eq!(plain.to_bits(), scratched.to_bits());
+        prop_assert_eq!(buf.len(), factor.feature_positions.len());
+    }
+
+    /// Same contract for the point prediction.
+    #[test]
+    fn predict_into_matches_predict(
+        state in proptest::collection::vec(-1e3f64..1e3, 7),
+    ) {
+        let factor = test_factor();
+        let mut buf = Vec::new();
+        prop_assert_eq!(
+            factor.predict(&state).to_bits(),
+            factor.predict_into(&state, &mut buf).to_bits()
+        );
+    }
+}

@@ -15,15 +15,17 @@ pub const DEFAULT_B: usize = 10;
 /// correlation with `target`.
 ///
 /// `columns[i]` is the i-th candidate feature's training series; `target`
-/// is the entity metric's training series. Ties break toward the lower
-/// index for determinism. Features with zero correlation (including
-/// constant columns) are still eligible but sort last, so they are only
-/// chosen when fewer than `b` informative features exist.
-pub fn select_top_features(columns: &[Vec<f64>], target: &[f64], b: usize) -> Vec<usize> {
+/// is the entity metric's training series. Columns may be owned vectors or
+/// borrowed slices (`&[f64]`) — callers with a shared column store can pass
+/// views without cloning each series. Ties break toward the lower index for
+/// determinism. Features with zero correlation (including constant columns)
+/// are still eligible but sort last, so they are only chosen when fewer
+/// than `b` informative features exist.
+pub fn select_top_features<C: AsRef<[f64]>>(columns: &[C], target: &[f64], b: usize) -> Vec<usize> {
     let mut scored: Vec<(usize, f64)> = columns
         .iter()
         .enumerate()
-        .map(|(i, col)| (i, pearson(col, target).abs()))
+        .map(|(i, col)| (i, pearson(col.as_ref(), target).abs()))
         .collect();
     // Sort by descending |corr|, ascending index on ties.
     scored.sort_by(|a, b| {
@@ -90,7 +92,7 @@ mod tests {
     #[test]
     fn empty_columns() {
         let t = target();
-        assert!(select_top_features(&[], &t, 5).is_empty());
+        assert!(select_top_features::<Vec<f64>>(&[], &t, 5).is_empty());
     }
 
     #[test]

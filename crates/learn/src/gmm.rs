@@ -161,13 +161,17 @@ fn log_diag_gauss(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
 impl Regressor for GaussianMixture {
     fn predict(&self, x: &[f64]) -> f64 {
         // Responsibilities from the feature marginal (first d coords).
-        let logp: Vec<f64> = (0..self.weights.len())
-            .map(|c| {
-                self.weights[c].max(1e-300).ln()
-                    + log_diag_gauss(x, &self.means[c][..self.num_features], &self.variances[c][..self.num_features])
-            })
-            .collect();
-        let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Two passes over the handful of components — one for the
+        // log-sum-exp shift, one for the weighted mean — so the sampler's
+        // hot path performs no per-call allocation.
+        let logp = |c: usize| {
+            self.weights[c].max(1e-300).ln()
+                + log_diag_gauss(x, &self.means[c][..self.num_features], &self.variances[c][..self.num_features])
+        };
+        let mut max = f64::NEG_INFINITY;
+        for c in 0..self.weights.len() {
+            max = max.max(logp(c));
+        }
         if !max.is_finite() {
             // All components infinitely unlikely: fall back to the global mean.
             let total: f64 = self.weights.iter().sum();
@@ -181,8 +185,8 @@ impl Regressor for GaussianMixture {
         }
         let mut num = 0.0;
         let mut den = 0.0;
-        for (c, &lp) in logp.iter().enumerate() {
-            let r = (lp - max).exp();
+        for c in 0..self.weights.len() {
+            let r = (logp(c) - max).exp();
             num += r * self.means[c][self.num_features];
             den += r;
         }

@@ -7,7 +7,7 @@
 //! centered target — standardization makes one λ meaningful across metrics
 //! with wildly different scales (CPU %, MB, sessions).
 
-use crate::linalg::{dot, solve_spd, Matrix};
+use crate::linalg::{solve_spd, Matrix};
 use crate::model::{validate, FitError, Regressor};
 use serde::{Deserialize, Serialize};
 
@@ -99,12 +99,14 @@ impl Ridge {
 impl Regressor for Ridge {
     fn predict(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.weights.len());
-        let std: Vec<f64> = x
-            .iter()
-            .enumerate()
-            .map(|(j, &v)| (v - self.feature_means[j]) / self.feature_stds[j])
-            .collect();
-        self.intercept + dot(&std, &self.weights)
+        // Standardize-and-dot inline, with the exact accumulation order of
+        // the allocating `dot(&std, &weights)` formulation it replaces, so
+        // predictions stay bit-identical.
+        let mut acc = 0.0;
+        for (j, &v) in x.iter().enumerate() {
+            acc += (v - self.feature_means[j]) / self.feature_stds[j] * self.weights[j];
+        }
+        self.intercept + acc
     }
 
     fn num_features(&self) -> usize {

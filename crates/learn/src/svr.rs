@@ -141,12 +141,13 @@ pub(crate) fn standardize_stats(xs: &[Vec<f64>], d: usize) -> (Vec<f64>, Vec<f64
 
 impl Regressor for LinearSvr {
     fn predict(&self, x: &[f64]) -> f64 {
-        let std: Vec<f64> = x
-            .iter()
-            .enumerate()
-            .map(|(j, &v)| (v - self.feature_means[j]) / self.feature_stds[j])
-            .collect();
-        (dot(&self.weights, &std) + self.bias) * self.target_std + self.target_mean
+        // Standardize-and-dot inline, preserving the accumulation order of
+        // the allocating `dot(&weights, &std)` formulation it replaces.
+        let mut acc = 0.0;
+        for (j, &v) in x.iter().enumerate() {
+            acc += self.weights[j] * ((v - self.feature_means[j]) / self.feature_stds[j]);
+        }
+        (acc + self.bias) * self.target_std + self.target_mean
     }
 
     fn num_features(&self) -> usize {

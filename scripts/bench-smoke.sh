@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Fast-scale perf smoke: times online training + per-symptom diagnosis and
+# appends one record to BENCH_perf.json at the repo root.
+#
+# Usage: scripts/bench-smoke.sh [--scale fast|default|paper]
+# Compare runs with: jq '.[] | {scale, threads, train_ms, diagnose_ms}' BENCH_perf.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="fast"
+if [[ "${1:-}" == "--scale" && -n "${2:-}" ]]; then
+  SCALE="$2"
+fi
+
+cargo run --release -p murphy-bench --bin repro -- --scale "$SCALE" bench

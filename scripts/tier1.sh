@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build + full test suite.
+#
+# Usage: scripts/tier1.sh
+# Honors MURPHY_THREADS for the worker pool (see README "Performance").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
