@@ -366,7 +366,10 @@ fn run_perf(scale: Scale) {
 
 /// Time train+diagnose at the requested scale and append one record to the
 /// JSON trajectory file, so runs across commits (or thread counts) can be
-/// compared: `jq '.[].total_ms' BENCH_perf.json`.
+/// compared: `jq '.[].total_ms' BENCH_perf.json`. The `diagnose_batch`
+/// series compares the legacy per-candidate path against memoized
+/// single-symptom loops and one shared-memoization batch call:
+/// `jq '.[-1].diagnose_batch' BENCH_perf.json`.
 fn run_bench(scale: Scale, out: &str) {
     let (apps, murphy) = perf_setup(scale);
     let wall = std::time::Instant::now();
@@ -374,6 +377,7 @@ fn run_bench(scale: Scale, out: &str) {
     let total_ms = wall.elapsed().as_secs_f64() * 1e3;
     let train_ms: f64 = points.iter().map(|p| p.train_ms).sum();
     let diagnose_ms: f64 = points.iter().map(|p| p.diagnose_ms).sum();
+    let batch_points = perf::run_batch(&apps, murphy);
     let unix_time_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -387,6 +391,7 @@ fn run_bench(scale: Scale, out: &str) {
         "diagnose_ms": diagnose_ms,
         "total_ms": total_ms,
         "points": points,
+        "diagnose_batch": batch_points,
     });
 
     let mut trajectory: Vec<serde_json::Value> = std::fs::read_to_string(out)
@@ -404,6 +409,12 @@ fn run_bench(scale: Scale, out: &str) {
                 "bench: scale {scale:?}, {} threads — train {train_ms:.0} ms, diagnose {diagnose_ms:.0} ms, total {total_ms:.0} ms",
                 murphy_core::pool::global().threads(),
             );
+            for p in &batch_points {
+                println!(
+                    "bench: batch @{} entities, {} symptoms ({} candidates) — per-candidate {:.0} ms, memoized loop {:.0} ms, diagnose_batch {:.0} ms",
+                    p.entities, p.symptoms, p.candidates, p.legacy_ms, p.loop_ms, p.batch_ms,
+                );
+            }
             println!("bench: appended record #{} to {out}", trajectory.len());
         }
         Err(e) => {

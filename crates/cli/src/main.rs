@@ -5,18 +5,20 @@
 //!                 [--seed N] [--ticks N] [--causal] --out trace.json
 //! murphy info     trace.json
 //! murphy diagnose trace.json [--fast|--paper] [--top K] [--explain]
-//!                 [--scheme murphy|sage|netmedic|explainit]
+//!                 [--batch] [--scheme murphy|sage|netmedic|explainit]
 //! ```
 //!
 //! `emulate` generates a fault scenario with the built-in emulators and
 //! writes it as a JSON trace; `info` summarizes a trace (entities, cycle
 //! statistics, symptom); `diagnose` runs a diagnosis scheme on it and
 //! prints the ranked root causes, marking the trace's recorded ground
-//! truth where present.
+//! truth where present. `--batch` widens diagnosis to every
+//! threshold-exceeding metric in the trace and diagnoses them all in one
+//! shared-memoization pass.
 
 use murphy_baselines::{DiagnosisScheme, SchemeContext};
 use murphy_core::explain::explain_chain;
-use murphy_core::{Murphy, MurphyConfig};
+use murphy_core::{Murphy, MurphyConfig, Symptom};
 use murphy_experiments::schemes::SchemeKind;
 use murphy_graph::{prune_candidates, CycleStats};
 use murphy_sim::faults::FaultKind;
@@ -58,7 +60,7 @@ murphy — performance diagnosis (SIGCOMM 2023 reproduction)
                   [--seed N] [--ticks N] [--causal] --out trace.json
   murphy info     trace.json
   murphy diagnose trace.json [--fast|--paper] [--top K] [--explain]
-                  [--scheme murphy|sage|netmedic|explainit]";
+                  [--batch] [--scheme murphy|sage|netmedic|explainit]";
 
 /// Pull the value following a `--flag`, removing both from `args`.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -188,6 +190,7 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "invalid --top"))
         .transpose()?
         .unwrap_or(5);
+    let batch = take_flag(&mut rest, "--batch");
     let scheme_word =
         take_value(&mut rest, "--scheme").unwrap_or_else(|| "murphy".into());
     if !rest.is_empty() {
@@ -199,13 +202,20 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         MurphyConfig::fast()
     };
 
+    if batch {
+        if scheme_word != "murphy" {
+            return Err("--batch is only supported with --scheme murphy".into());
+        }
+        return cmd_diagnose_batch(&scenario, config, top, explain);
+    }
+
     let ranked: Vec<murphy_telemetry::EntityId> = if scheme_word == "murphy" {
         // Full pipeline with explanations available.
         let murphy = Murphy::new(config);
         let report = murphy.diagnose(&scenario.db, &scenario.graph, &scenario.symptom);
         println!(
-            "evaluated {} candidates ({} pruned)",
-            report.candidates_evaluated, report.candidates_pruned
+            "evaluated {} candidates ({} pruned, {} capped)",
+            report.candidates_evaluated, report.candidates_pruned, report.candidates_capped
         );
         report.root_causes.iter().map(|r| r.entity).collect()
     } else {
@@ -231,6 +241,77 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         println!("no root causes reported");
         return Ok(());
     }
+    print_ranked(&scenario, &scenario.symptom, &ranked, top, explain, &config);
+    Ok(())
+}
+
+/// Diagnose every threshold-exceeding symptom in the trace in one batch:
+/// the model is trained once and per-symptom setup is shared.
+fn cmd_diagnose_batch(
+    scenario: &Scenario,
+    config: MurphyConfig,
+    top: usize,
+    explain: bool,
+) -> Result<(), String> {
+    let symptoms = discover_symptoms(scenario, &config);
+    let murphy = Murphy::new(config);
+    let reports = murphy.diagnose_batch(&scenario.db, &scenario.graph, &symptoms);
+    println!("diagnosing {} symptoms in one batch", symptoms.len());
+    for (symptom, report) in symptoms.iter().zip(&reports) {
+        println!(
+            "\nsymptom: {} {} — evaluated {} candidates ({} pruned, {} capped)",
+            scenario
+                .db
+                .entity(symptom.entity)
+                .map(|e| e.describe())
+                .unwrap_or_default(),
+            symptom.metric,
+            report.candidates_evaluated,
+            report.candidates_pruned,
+            report.candidates_capped,
+        );
+        if report.root_causes.is_empty() {
+            println!("no root causes reported");
+            continue;
+        }
+        let ranked: Vec<murphy_telemetry::EntityId> =
+            report.root_causes.iter().map(|r| r.entity).collect();
+        print_ranked(scenario, symptom, &ranked, top, explain, murphy.config());
+    }
+    Ok(())
+}
+
+/// The trace's recorded symptom plus every `(entity, metric)` in the
+/// graph whose current value exceeds its conservative threshold — the
+/// Appendix A.1 automatic mode, widened to the whole trace.
+fn discover_symptoms(scenario: &Scenario, config: &MurphyConfig) -> Vec<Symptom> {
+    let mut out = vec![scenario.symptom];
+    for &e in scenario.graph.entities() {
+        for kind in scenario.db.metrics_of(e) {
+            let value = scenario
+                .db
+                .current_value(murphy_telemetry::MetricId::new(e, kind));
+            if value > kind.threshold() * config.threshold_scale {
+                let symptom = Symptom::high(e, kind);
+                if !out.contains(&symptom) {
+                    out.push(symptom);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Print a ranked root-cause list, marking ground truth and optionally
+/// rendering the explanation chain toward `symptom`.
+fn print_ranked(
+    scenario: &Scenario,
+    symptom: &Symptom,
+    ranked: &[murphy_telemetry::EntityId],
+    top: usize,
+    explain: bool,
+    config: &MurphyConfig,
+) {
     for (i, entity) in ranked.iter().take(top).enumerate() {
         let name = scenario
             .db
@@ -248,7 +329,7 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
                 &scenario.db,
                 &scenario.graph,
                 *entity,
-                scenario.symptom.entity,
+                symptom.entity,
                 config.threshold_scale,
             ) {
                 for line in chain.render().lines() {
@@ -257,5 +338,4 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    Ok(())
 }

@@ -73,6 +73,40 @@ fn diagnose_with_baseline_scheme() {
 }
 
 #[test]
+fn diagnose_batch_mode() {
+    let trace = temp_trace("batch.json");
+    let status = murphy_bin()
+        .args(["emulate", "--app", "hotel", "--fault", "cpu", "--seed", "3", "--ticks", "220"])
+        .args(["--out", trace.to_str().unwrap()])
+        .status()
+        .expect("run emulate");
+    assert!(status.success());
+
+    let out = murphy_bin()
+        .arg("diagnose")
+        .arg(&trace)
+        .args(["--batch", "--top", "3"])
+        .output()
+        .expect("run diagnose --batch");
+    assert!(out.status.success(), "batch failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("symptoms in one batch"), "{text}");
+    assert!(text.contains("1. "), "no ranked output: {text}");
+
+    // Batch mode is Murphy-only: baselines have no batch entry point.
+    let out = murphy_bin()
+        .arg("diagnose")
+        .arg(&trace)
+        .args(["--batch", "--scheme", "netmedic"])
+        .output()
+        .expect("run diagnose --batch --scheme netmedic");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--batch"));
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn bad_inputs_fail_cleanly() {
     // Unknown command.
     let out = murphy_bin().arg("frobnicate").output().unwrap();

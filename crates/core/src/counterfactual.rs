@@ -15,13 +15,16 @@
 use crate::config::MurphyConfig;
 use crate::diagnose::Symptom;
 use crate::mrf::MrfModel;
+use crate::pool::WorkerPool;
 use crate::sampler::{resample_planned, ResamplePlan};
-use murphy_graph::{RelationshipGraph, ShortestPathSubgraph};
+use murphy_graph::{RelationshipGraph, ShortestPathSubgraph, SymptomDistances};
 use murphy_stats::{welch_t_test, TTestResult};
 use murphy_telemetry::EntityId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Outcome of evaluating one candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,13 +54,198 @@ pub fn evaluate_candidate(
     config: &MurphyConfig,
     seed: u64,
 ) -> Option<CandidateVerdict> {
-    let symptom_pos = mrf.index.position(symptom.metric_id())?;
     let subgraph = ShortestPathSubgraph::compute_with_slack(
         graph,
         candidate,
         symptom.entity,
         config.subgraph_slack,
     )?;
+    let plan = ResamplePlan::new(mrf, graph, &subgraph);
+    evaluate_with_plan(mrf, symptom, candidate, &subgraph, &plan, config, seed)
+}
+
+/// One candidate's memoized setup: its shortest-path subgraph and the
+/// (possibly shared) resampling plan derived from it.
+///
+/// Produced by [`SymptomContext::prepare`]; consumed by
+/// [`evaluate_candidate_prepared`], which replays the exact draw loop of
+/// [`evaluate_candidate`] without redoing the BFS or the plan build.
+#[derive(Debug, Clone)]
+pub struct PreparedCandidate {
+    /// The candidate root cause this setup belongs to.
+    pub entity: EntityId,
+    /// Its shortest-path subgraph `T(A→E_o)` (with slack).
+    pub subgraph: ShortestPathSubgraph,
+    /// The flattened resampling schedule. Candidates whose subgraphs
+    /// coincide share one interned plan.
+    pub plan: Arc<ResamplePlan>,
+}
+
+/// Per-symptom memoization of everything the candidate loop can share.
+///
+/// After PR 1's allocation-free Gibbs kernel, the dominant per-candidate
+/// setup cost in [`evaluate_candidate`] is the `ShortestPathSubgraph`
+/// BFS pair plus the [`ResamplePlan`] build — work that is heavily
+/// redundant across the candidates of one symptom. A `SymptomContext`
+/// computes, once per symptom entity:
+///
+/// * one **reverse BFS** from the symptom ([`SymptomDistances`]), which
+///   yields every candidate's distance-to-symptom at once and halves the
+///   per-candidate traversal (only the forward BFS remains);
+/// * per-candidate **subgraphs** derived from those shared distances
+///   (optionally fanned out over the [`WorkerPool`]);
+/// * an **interner** that caches `ResamplePlan`s keyed by subgraph order,
+///   so candidates whose subgraphs coincide share one plan allocation.
+///
+/// The context is prepared up front and then read — immutably, so it can
+/// be shared across the worker pool without locks — by the evaluation
+/// fan-out. It is keyed by the symptom *entity*: symptoms that differ
+/// only in metric (or batch runs revisiting an entity) reuse the same
+/// prepared candidates, as long as the same trained [`MrfModel`] is used
+/// throughout (plans index into that model's metric positions).
+#[derive(Debug)]
+pub struct SymptomContext {
+    target: EntityId,
+    slack: usize,
+    distances: Option<SymptomDistances>,
+    prepared: BTreeMap<EntityId, Option<Arc<PreparedCandidate>>>,
+    plans: BTreeMap<Vec<usize>, Arc<ResamplePlan>>,
+    plans_built: usize,
+    plans_reused: usize,
+}
+
+impl SymptomContext {
+    /// A context for one symptom entity: runs the single reverse BFS.
+    pub fn new(graph: &RelationshipGraph, target: EntityId, slack: usize) -> Self {
+        Self {
+            target,
+            slack,
+            distances: SymptomDistances::compute(graph, target),
+            prepared: BTreeMap::new(),
+            plans: BTreeMap::new(),
+            plans_built: 0,
+            plans_reused: 0,
+        }
+    }
+
+    /// The symptom entity this context memoizes for.
+    pub fn target(&self) -> EntityId {
+        self.target
+    }
+
+    /// Compute (or reuse) the subgraph + plan for every listed candidate.
+    ///
+    /// Subgraph derivation is pure and fans out over `pool` when given;
+    /// plan interning is sequential (it deduplicates against the cache).
+    /// Candidates already prepared by an earlier call are skipped, which
+    /// is what lets batch diagnosis reuse one context across symptoms.
+    pub fn prepare(
+        &mut self,
+        mrf: &MrfModel,
+        graph: &RelationshipGraph,
+        candidates: &[EntityId],
+        pool: Option<&WorkerPool>,
+    ) {
+        let missing: Vec<EntityId> = candidates
+            .iter()
+            .copied()
+            .filter(|c| !self.prepared.contains_key(c))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let Some(rev) = &self.distances else {
+            // Symptom entity not in the graph: nothing is reachable.
+            for c in missing {
+                self.prepared.insert(c, None);
+            }
+            return;
+        };
+        let slack = self.slack;
+        let subgraphs: Vec<Option<ShortestPathSubgraph>> = match pool {
+            Some(pool) if missing.len() > 1 => pool.run_indexed(missing.len(), |i| {
+                ShortestPathSubgraph::compute_with_slack_from(graph, missing[i], rev, slack)
+            }),
+            _ => missing
+                .iter()
+                .map(|&c| ShortestPathSubgraph::compute_with_slack_from(graph, c, rev, slack))
+                .collect(),
+        };
+        for (&c, subgraph) in missing.iter().zip(subgraphs) {
+            let entry = subgraph.map(|subgraph| {
+                let plan = match self.plans.get(subgraph.order.as_slice()) {
+                    Some(plan) => {
+                        self.plans_reused += 1;
+                        Arc::clone(plan)
+                    }
+                    None => {
+                        self.plans_built += 1;
+                        let plan = Arc::new(ResamplePlan::new(mrf, graph, &subgraph));
+                        self.plans.insert(subgraph.order.clone(), Arc::clone(&plan));
+                        plan
+                    }
+                };
+                Arc::new(PreparedCandidate {
+                    entity: c,
+                    subgraph,
+                    plan,
+                })
+            });
+            self.prepared.insert(c, entry);
+        }
+    }
+
+    /// The prepared setup for a candidate; `None` when the candidate was
+    /// never prepared or cannot reach the symptom.
+    pub fn prepared(&self, candidate: EntityId) -> Option<&PreparedCandidate> {
+        self.prepared.get(&candidate)?.as_deref()
+    }
+
+    /// How many distinct plans were built (cache misses).
+    pub fn plans_built(&self) -> usize {
+        self.plans_built
+    }
+
+    /// How many plan builds were avoided by the interner (cache hits).
+    pub fn plans_reused(&self) -> usize {
+        self.plans_reused
+    }
+}
+
+/// [`evaluate_candidate`] with the per-candidate setup memoized away:
+/// identical verdicts (bit-for-bit for a fixed seed), zero BFS and zero
+/// plan construction per call.
+pub fn evaluate_candidate_prepared(
+    mrf: &MrfModel,
+    symptom: &Symptom,
+    prepared: &PreparedCandidate,
+    config: &MurphyConfig,
+    seed: u64,
+) -> Option<CandidateVerdict> {
+    evaluate_with_plan(
+        mrf,
+        symptom,
+        prepared.entity,
+        &prepared.subgraph,
+        &prepared.plan,
+        config,
+        seed,
+    )
+}
+
+/// The shared draw loop behind both evaluation entry points. Keeping one
+/// body is what pins the determinism contract: memoized and legacy paths
+/// consume the RNG identically by construction.
+fn evaluate_with_plan(
+    mrf: &MrfModel,
+    symptom: &Symptom,
+    candidate: EntityId,
+    subgraph: &ShortestPathSubgraph,
+    plan: &ResamplePlan,
+    config: &MurphyConfig,
+    seed: u64,
+) -> Option<CandidateVerdict> {
+    let symptom_pos = mrf.index.position(symptom.metric_id())?;
 
     // The counterfactual state of A: every anomalous metric of the entity
     // (z ≥ 1) moved `counterfactual_sigmas` toward normal. Figure 3 treats
@@ -93,7 +281,6 @@ pub fn evaluate_candidate(
     // resampling schedule, the save/restore set (exactly the positions a
     // run can mutate), and the feature scratch buffer. The loop itself —
     // restore, pin, resample, read — then runs without heap allocation.
-    let plan = ResamplePlan::new(mrf, graph, &subgraph);
     let mut scratch = plan.scratch();
     let mut rng = StdRng::seed_from_u64(seed);
     let n = config.num_samples.max(2);
@@ -109,7 +296,7 @@ pub fn evaluate_candidate(
             for &(p, cf, cur) in &pins {
                 state[p] = if counterfactual { cf } else { cur };
             }
-            resample_planned(mrf, &plan, &mut state, config.gibbs_rounds, rng, &mut scratch);
+            resample_planned(mrf, plan, &mut state, config.gibbs_rounds, rng, &mut scratch);
             out.push(state[symptom_pos]);
             for &(p, _, cur) in &pins {
                 state[p] = cur;
@@ -142,13 +329,28 @@ pub fn evaluate_candidate(
         )
     };
 
+    // NaN sanitization at construction: a degenerate history window (zero
+    // variance, too-short series) can push NaN through the t-test. The
+    // verdict's derived `PartialEq` and every downstream `total_cmp`-based
+    // ranking rely on these fields being comparable, so a NaN p-value
+    // becomes the least-significant 1.0 and NaN means become 0.0 — the
+    // worst possible rank, never a scrambled one.
     Some(CandidateVerdict {
         is_root_cause,
-        counterfactual_mean: mean(&d1),
-        factual_mean: mean(&d2),
-        p_value,
+        counterfactual_mean: sanitize_nan(mean(&d1), 0.0),
+        factual_mean: sanitize_nan(mean(&d2), 0.0),
+        p_value: sanitize_nan(p_value, 1.0),
         distance: subgraph.distance,
     })
+}
+
+/// Replace NaN with a caller-chosen worst-rank fallback.
+fn sanitize_nan(x: f64, fallback: f64) -> f64 {
+    if x.is_nan() {
+        fallback
+    } else {
+        x
+    }
 }
 
 fn mean(xs: &[f64]) -> f64 {
@@ -292,5 +494,77 @@ mod tests {
         let a = evaluate_candidate(&mrf, &graph, &symptom, driver, &config, 42).unwrap();
         let b = evaluate_candidate(&mrf, &graph, &symptom, driver, &config, 42).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepared_evaluation_matches_legacy() {
+        let (mrf, graph, symptom, driver, bystander) = setup();
+        let config = MurphyConfig::fast();
+        let mut ctx = SymptomContext::new(&graph, symptom.entity, config.subgraph_slack);
+        ctx.prepare(&mrf, &graph, &[driver, bystander], None);
+        for c in [driver, bystander] {
+            let legacy = evaluate_candidate(&mrf, &graph, &symptom, c, &config, 42);
+            let memoized = ctx
+                .prepared(c)
+                .and_then(|p| evaluate_candidate_prepared(&mrf, &symptom, p, &config, 42));
+            assert_eq!(legacy, memoized, "candidate {c:?}");
+        }
+    }
+
+    #[test]
+    fn prepare_is_idempotent_and_caches_unreachable() {
+        let (mrf, graph, symptom, driver, _) = setup();
+        let config = MurphyConfig::fast();
+        let mut ctx = SymptomContext::new(&graph, symptom.entity, config.subgraph_slack);
+        ctx.prepare(&mrf, &graph, &[driver, EntityId(999)], None);
+        assert!(ctx.prepared(driver).is_some());
+        assert!(ctx.prepared(EntityId(999)).is_none());
+        let built = ctx.plans_built();
+        // Re-preparing the same candidates does no new work.
+        ctx.prepare(&mrf, &graph, &[driver, EntityId(999)], None);
+        assert_eq!(ctx.plans_built(), built);
+    }
+
+    #[test]
+    fn coinciding_subgraphs_share_one_interned_plan() {
+        use crate::mrf::{MetricIndex, MrfModel};
+        use murphy_stats::Summary;
+        use murphy_telemetry::MetricId;
+        // Two direct predecessors of the symptom in a one-way graph: both
+        // subgraphs are exactly [symptom], so the interner must hand out
+        // one shared plan.
+        let mut graph = RelationshipGraph::new();
+        for i in 0..3 {
+            graph.add_node(EntityId(i));
+        }
+        graph.add_edge(EntityId(0), EntityId(2));
+        graph.add_edge(EntityId(1), EntityId(2));
+        let hist = Summary::of(&[9.0, 10.0, 11.0, 10.0]);
+        let mrf = MrfModel {
+            index: MetricIndex::new(vec![
+                MetricId::new(EntityId(0), MetricKind::CpuUtil),
+                MetricId::new(EntityId(1), MetricKind::CpuUtil),
+                MetricId::new(EntityId(2), MetricKind::CpuUtil),
+            ]),
+            factors: vec![None, None, None],
+            current: vec![50.0, 50.0, 50.0],
+            history: vec![hist, hist, hist],
+            reference: vec![hist, hist, hist],
+        };
+        let mut ctx = SymptomContext::new(&graph, EntityId(2), 0);
+        ctx.prepare(&mrf, &graph, &[EntityId(0), EntityId(1)], None);
+        let a = ctx.prepared(EntityId(0)).expect("reachable");
+        let b = ctx.prepared(EntityId(1)).expect("reachable");
+        assert_eq!(a.subgraph.order, b.subgraph.order);
+        assert!(Arc::ptr_eq(&a.plan, &b.plan), "plan not shared");
+        assert_eq!(ctx.plans_built(), 1);
+        assert_eq!(ctx.plans_reused(), 1);
+    }
+
+    #[test]
+    fn nan_sanitization_helper() {
+        assert_eq!(sanitize_nan(f64::NAN, 1.0), 1.0);
+        assert_eq!(sanitize_nan(0.25, 1.0), 0.25);
+        assert_eq!(sanitize_nan(f64::INFINITY, 1.0), f64::INFINITY);
     }
 }

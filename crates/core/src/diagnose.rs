@@ -5,16 +5,23 @@
 //! 1. trains the MRF online,
 //! 2. prunes the candidate space with the conservative-threshold BFS,
 //! 3. evaluates every surviving candidate with the counterfactual test
-//!    (in parallel — the evaluations are independent),
+//!    (in parallel — the evaluations are independent), sharing the
+//!    per-symptom setup (reverse BFS, interned resampling plans) through
+//!    a [`SymptomContext`],
 //! 4. ranks the confirmed root causes by anomaly score.
+//!
+//! [`diagnose_batch`] diagnoses many symptoms against one trained model,
+//! reusing pruning results and prepared contexts across symptoms that
+//! share an entity.
 
 use crate::config::MurphyConfig;
-use crate::counterfactual::{evaluate_candidate, CandidateVerdict};
+use crate::counterfactual::{evaluate_candidate_prepared, CandidateVerdict, SymptomContext};
 use crate::mrf::MrfModel;
 use crate::ranking::rank_root_causes;
 use murphy_graph::{prune_candidates, RelationshipGraph};
 use murphy_telemetry::{EntityId, MetricId, MetricKind, MonitoringDb};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Whether the symptom metric is problematically high or low.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,7 +90,12 @@ pub struct RankedRootCause {
 }
 
 /// The result of diagnosing one symptom.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// The three counters plus the symptom entity itself partition the graph:
+/// `candidates_evaluated + candidates_pruned + candidates_capped + 1`
+/// equals the graph's node count for every [`diagnose_symptom`] /
+/// [`diagnose_batch`] report.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DiagnosisReport {
     /// Confirmed root causes, best first.
     pub root_causes: Vec<RankedRootCause>,
@@ -91,6 +103,10 @@ pub struct DiagnosisReport {
     pub candidates_evaluated: usize,
     /// How many candidates the pruning BFS discarded up front.
     pub candidates_pruned: usize,
+    /// How many candidates survived pruning but were dropped by the
+    /// `max_candidates` cap without being evaluated.
+    #[serde(default)]
+    pub candidates_capped: usize,
 }
 
 impl DiagnosisReport {
@@ -112,6 +128,12 @@ impl DiagnosisReport {
 ///
 /// `candidates` is normally the output of [`prune_candidates`]; callers
 /// that need the unpruned space (ablations) can pass all graph entities.
+/// The symptom entity is never evaluated against itself and is dropped
+/// from `candidates` if present.
+///
+/// `candidates_pruned` is 0 in the returned report — this entry point
+/// cannot know how many entities a caller's pruning discarded. Use
+/// [`diagnose_symptom`] / [`diagnose_batch`] for full accounting.
 pub fn diagnose_with_candidates(
     db: &MonitoringDb,
     mrf: &MrfModel,
@@ -120,22 +142,54 @@ pub fn diagnose_with_candidates(
     candidates: &[EntityId],
     config: &MurphyConfig,
 ) -> DiagnosisReport {
+    let mut ctx = SymptomContext::new(graph, symptom.entity, config.subgraph_slack);
+    diagnose_with_context(db, mrf, graph, symptom, candidates, config, &mut ctx)
+}
+
+/// [`diagnose_with_candidates`] with a caller-owned [`SymptomContext`],
+/// so repeated diagnoses of the same symptom entity (ablation sweeps,
+/// batch runs) reuse the reverse BFS, subgraphs, and interned plans.
+///
+/// `ctx` must have been created for `symptom.entity` with the same
+/// `subgraph_slack`, against the same `graph` and `mrf`.
+pub fn diagnose_with_context(
+    db: &MonitoringDb,
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    candidates: &[EntityId],
+    config: &MurphyConfig,
+    ctx: &mut SymptomContext,
+) -> DiagnosisReport {
+    // An entity is never a candidate root cause for its own symptom;
+    // `prune_candidates` already guarantees this, but ablation callers
+    // passing "all entities" must not have the symptom eat a cap slot or
+    // inflate `candidates_evaluated`.
+    let eligible: Vec<EntityId> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| c != symptom.entity)
+        .collect();
     let capped: Vec<EntityId> = if config.max_candidates > 0 {
-        candidates.iter().copied().take(config.max_candidates).collect()
+        eligible.iter().copied().take(config.max_candidates).collect()
     } else {
-        candidates.to_vec()
+        eligible.clone()
     };
 
-    let verdicts: Vec<(EntityId, Option<CandidateVerdict>)> = if config.parallel && capped.len() > 1 {
-        parallel_evaluate(mrf, graph, symptom, &capped, config)
-    } else {
-        capped
-            .iter()
-            .map(|&c| {
-                let seed = candidate_seed(config.seed, c);
-                (c, evaluate_candidate(mrf, graph, symptom, c, config, seed))
-            })
-            .collect()
+    let pool = (config.parallel && capped.len() > 1).then(crate::pool::global);
+    ctx.prepare(mrf, graph, &capped, pool);
+    let ctx: &SymptomContext = ctx; // read-only across the fan-out
+
+    let evaluate = |c: EntityId| -> (EntityId, Option<CandidateVerdict>) {
+        let seed = candidate_seed(config.seed, c);
+        let verdict = ctx
+            .prepared(c)
+            .and_then(|p| evaluate_candidate_prepared(mrf, symptom, p, config, seed));
+        (c, verdict)
+    };
+    let verdicts: Vec<(EntityId, Option<CandidateVerdict>)> = match pool {
+        Some(pool) => pool.run_indexed(capped.len(), |i| evaluate(capped[i])),
+        None => capped.iter().map(|&c| evaluate(c)).collect(),
     };
 
     let confirmed: Vec<(EntityId, CandidateVerdict)> = verdicts
@@ -146,7 +200,8 @@ pub fn diagnose_with_candidates(
     let root_causes = rank_root_causes(db, mrf, confirmed, config.anomaly_saturation);
     DiagnosisReport {
         candidates_evaluated: capped.len(),
-        candidates_pruned: candidates.len().saturating_sub(capped.len()),
+        candidates_pruned: 0,
+        candidates_capped: eligible.len().saturating_sub(capped.len()),
         root_causes,
     }
 }
@@ -159,31 +214,77 @@ pub fn diagnose_symptom(
     symptom: &Symptom,
     config: &MurphyConfig,
 ) -> DiagnosisReport {
+    let mut ctx = SymptomContext::new(graph, symptom.entity, config.subgraph_slack);
     let candidates = prune_candidates(db, graph, symptom.entity, config.threshold_scale);
-    let total_entities = graph.node_count();
-    let mut report = diagnose_with_candidates(db, mrf, graph, symptom, &candidates, config);
-    report.candidates_pruned = total_entities.saturating_sub(candidates.len() + 1);
-    report
+    diagnose_pruned(db, mrf, graph, symptom, &candidates, config, &mut ctx)
 }
 
-/// Deterministic per-candidate seed derivation: independent of evaluation
-/// order, so parallel and sequential runs agree.
-fn candidate_seed(base: u64, candidate: EntityId) -> u64 {
-    base ^ (candidate.0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+/// Diagnose many symptoms against one trained model.
+///
+/// Symptom-level memoization makes this cheaper than N independent
+/// [`diagnose_symptom`] calls — symptoms sharing an entity reuse one
+/// pruning pass, one reverse BFS, and one set of prepared candidate
+/// plans — while returning bit-identical reports (each candidate's seed
+/// depends only on its id, never on batch position).
+pub fn diagnose_batch(
+    db: &MonitoringDb,
+    mrf: &MrfModel,
+    graph: &RelationshipGraph,
+    symptoms: &[Symptom],
+    config: &MurphyConfig,
+) -> Vec<DiagnosisReport> {
+    let mut pruned: BTreeMap<EntityId, Vec<EntityId>> = BTreeMap::new();
+    let mut contexts: BTreeMap<EntityId, SymptomContext> = BTreeMap::new();
+    symptoms
+        .iter()
+        .map(|symptom| {
+            let candidates = pruned
+                .entry(symptom.entity)
+                .or_insert_with(|| {
+                    prune_candidates(db, graph, symptom.entity, config.threshold_scale)
+                })
+                .clone();
+            let ctx = contexts.entry(symptom.entity).or_insert_with(|| {
+                SymptomContext::new(graph, symptom.entity, config.subgraph_slack)
+            });
+            diagnose_pruned(db, mrf, graph, symptom, &candidates, config, ctx)
+        })
+        .collect()
 }
 
-fn parallel_evaluate(
+/// Shared tail of [`diagnose_symptom`] and [`diagnose_batch`]: evaluate
+/// the pruning survivors and fix up the accounting so that
+/// `evaluated + pruned + capped + 1 == node_count`.
+fn diagnose_pruned(
+    db: &MonitoringDb,
     mrf: &MrfModel,
     graph: &RelationshipGraph,
     symptom: &Symptom,
     candidates: &[EntityId],
     config: &MurphyConfig,
-) -> Vec<(EntityId, Option<CandidateVerdict>)> {
-    crate::pool::global().run_indexed(candidates.len(), |i| {
-        let c = candidates[i];
-        let seed = candidate_seed(config.seed, c);
-        (c, evaluate_candidate(mrf, graph, symptom, c, config, seed))
-    })
+    ctx: &mut SymptomContext,
+) -> DiagnosisReport {
+    let mut report = diagnose_with_context(db, mrf, graph, symptom, candidates, config, ctx);
+    // `prune_candidates` never returns the symptom entity, so the node
+    // count partitions exactly into {evaluated, capped, pruned, symptom}.
+    report.candidates_pruned = graph
+        .node_count()
+        .saturating_sub(report.candidates_evaluated + report.candidates_capped + 1);
+    report
+}
+
+/// Deterministic per-candidate seed derivation.
+///
+/// Contract: the seed is a pure function of `(base, candidate id)` and
+/// never of the candidate's position in the evaluation order — this is
+/// what makes sequential, pool-parallel, memoized, and batch runs
+/// bit-identical. `wrapping_add` keeps the id→seed map total (an id of
+/// `u64::MAX` must wrap, not panic in debug builds); the value is
+/// unchanged for every id that does not overflow.
+fn candidate_seed(base: u64, candidate: EntityId) -> u64 {
+    base ^ (candidate.0 as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 #[cfg(test)]
@@ -226,6 +327,19 @@ mod tests {
         (db, graph, victim, driver, herring)
     }
 
+    /// `evaluated + pruned + capped + 1 == node_count` must hold for every
+    /// full-pipeline report.
+    fn assert_accounting(graph: &RelationshipGraph, report: &DiagnosisReport) {
+        assert_eq!(
+            report.candidates_evaluated
+                + report.candidates_pruned
+                + report.candidates_capped
+                + 1,
+            graph.node_count(),
+            "accounting violated: {report:?}"
+        );
+    }
+
     #[test]
     fn end_to_end_confirms_driver_and_prunes_cold() {
         let (db, graph, victim, driver, _) = star_env();
@@ -241,6 +355,8 @@ mod tests {
         // Cold bystanders (CPU 3% < 25% threshold) never get evaluated.
         assert!(report.candidates_evaluated <= 2, "evaluated {}", report.candidates_evaluated);
         assert!(report.candidates_pruned >= 3);
+        assert_eq!(report.candidates_capped, 0);
+        assert_accounting(&graph, &report);
     }
 
     #[test]
@@ -265,6 +381,57 @@ mod tests {
         let symptom = Symptom::high(victim, MetricKind::CpuUtil);
         let report = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
         assert_eq!(report.candidates_evaluated, 1);
+        // Regression: capped candidates are counted as capped, not folded
+        // into (or clobbering) the pruning count.
+        assert!(report.candidates_capped >= 1, "capped {}", report.candidates_capped);
+        assert_accounting(&graph, &report);
+    }
+
+    #[test]
+    fn symptom_entity_is_never_its_own_candidate() {
+        let (db, graph, victim, driver, herring) = star_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        // An ablation-style caller passing the symptom entity itself: it
+        // must be dropped, not evaluated or counted.
+        let with_self = diagnose_with_candidates(
+            &db, &mrf, &graph, &symptom, &[victim, driver, herring], &config,
+        );
+        let without_self =
+            diagnose_with_candidates(&db, &mrf, &graph, &symptom, &[driver, herring], &config);
+        assert_eq!(with_self, without_self);
+        assert_eq!(with_self.candidates_evaluated, 2);
+    }
+
+    #[test]
+    fn batch_matches_independent_diagnoses() {
+        let (db, graph, victim, driver, _) = star_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        let symptoms = [
+            Symptom::high(victim, MetricKind::CpuUtil),
+            Symptom::high(driver, MetricKind::CpuUtil),
+            // Repeat of the first symptom's entity: exercises the context
+            // reuse path inside the batch.
+            Symptom::high(victim, MetricKind::CpuUtil),
+        ];
+        let batched = diagnose_batch(&db, &mrf, &graph, &symptoms, &config);
+        assert_eq!(batched.len(), symptoms.len());
+        for (symptom, report) in symptoms.iter().zip(&batched) {
+            let independent = diagnose_symptom(&db, &mrf, &graph, symptom, &config);
+            assert_eq!(report, &independent, "batch diverged for {symptom:?}");
+            assert_accounting(&graph, report);
+        }
+        assert_eq!(batched[0], batched[2]);
+    }
+
+    #[test]
+    fn batch_of_nothing_is_nothing() {
+        let (db, graph, _, _, _) = star_env();
+        let config = MurphyConfig::fast();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 180), db.latest_tick());
+        assert!(diagnose_batch(&db, &mrf, &graph, &[], &config).is_empty());
     }
 
     #[test]

@@ -41,8 +41,11 @@ pub mod sampler;
 pub mod training;
 
 pub use config::MurphyConfig;
-pub use counterfactual::{evaluate_candidate, CandidateVerdict};
-pub use diagnose::{DiagnosisReport, RankedRootCause, Symptom};
+pub use counterfactual::{
+    evaluate_candidate, evaluate_candidate_prepared, CandidateVerdict, PreparedCandidate,
+    SymptomContext,
+};
+pub use diagnose::{diagnose_batch, DiagnosisReport, RankedRootCause, Symptom};
 pub use explain::{Explanation, ExplanationStep};
 pub use labels::EntityLabel;
 pub use mrf::MrfModel;

@@ -58,6 +58,25 @@ impl Murphy {
         diagnose_symptom(db, &mrf, graph, symptom, &self.config)
     }
 
+    /// Diagnose many symptoms in one call: the model is trained **once**
+    /// and per-symptom work (pruning, the reverse BFS, resampling plans)
+    /// is shared across symptoms on the same entity.
+    ///
+    /// Reports are bit-identical to per-symptom [`Murphy::diagnose`]
+    /// calls; only the cost differs. This is the natural follow-up to
+    /// [`Murphy::find_symptoms`], which often returns several symptoms on
+    /// one incident entity.
+    pub fn diagnose_batch(
+        &self,
+        db: &MonitoringDb,
+        graph: &RelationshipGraph,
+        symptoms: &[Symptom],
+    ) -> Vec<DiagnosisReport> {
+        let window = TrainingWindow::online(db, self.config.n_train);
+        let mrf = train_mrf(db, graph, &self.config, window, db.latest_tick());
+        crate::diagnose::diagnose_batch(db, &mrf, graph, symptoms, &self.config)
+    }
+
     /// Diagnose with an explicit training window (the offline-training
     /// ablation of §6.5.1 and the n_train sweeps of §6.5.2 use this).
     pub fn diagnose_with_window(
@@ -191,6 +210,22 @@ mod tests {
         let chain = explained.explanations[idx].as_ref().expect("chain");
         assert_eq!(chain.entities().first(), Some(&driver));
         assert_eq!(chain.entities().last(), Some(&victim));
+    }
+
+    #[test]
+    fn facade_batch_matches_single_diagnoses() {
+        let (db, driver, victim) = env();
+        let murphy = Murphy::new(MurphyConfig::fast());
+        let graph = murphy.graph_for_entity(&db, victim, BuildOptions::default());
+        let symptoms = [
+            Symptom::high(victim, MetricKind::CpuUtil),
+            Symptom::high(driver, MetricKind::CpuUtil),
+        ];
+        let batched = murphy.diagnose_batch(&db, &graph, &symptoms);
+        assert_eq!(batched.len(), 2);
+        for (symptom, report) in symptoms.iter().zip(&batched) {
+            assert_eq!(report, &murphy.diagnose(&db, &graph, symptom));
+        }
     }
 
     #[test]

@@ -43,7 +43,19 @@ pub fn rank_root_causes(
     let mut ranked: Vec<RankedRootCause> = confirmed
         .into_iter()
         .map(|(entity, verdict)| {
-            let score = mrf.entity_anomaly(entity).min(saturation);
+            // Defense-in-depth: `entity_anomaly` currently absorbs NaN
+            // metrics (its `f64::max` fold keeps the non-NaN operand),
+            // but the sort key below must NEVER be NaN — `f64::min`
+            // would keep a NaN anomaly as-is only by accident of operand
+            // order, and a NaN key is exactly what made the old
+            // comparator non-transitive. A NaN anomaly means "no valid
+            // evidence", so it gets the worst score and ranks last.
+            let anomaly = mrf.entity_anomaly(entity);
+            let score = if anomaly.is_nan() {
+                -1.0
+            } else {
+                anomaly.min(saturation)
+            };
             let metric = mrf
                 .most_anomalous_metric(entity)
                 .map(|p| mrf.index.id(p).kind)
@@ -56,20 +68,20 @@ pub fn rank_root_causes(
             }
         })
         .collect();
+    // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: treating NaN as
+    // equal-to-everything is not transitive, which violates the strict
+    // weak ordering `sort_by` requires — with a NaN key the final order
+    // depended on comparison sequence (and could scramble non-NaN
+    // entries). `total_cmp` is a total order, and the construction above
+    // plus verdict sanitization keep NaN out of the keys anyway.
     ranked.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.score)
             .then(b.verdict.distance.cmp(&a.verdict.distance))
             .then(
                 is_workload_source(db, b.entity).cmp(&is_workload_source(db, a.entity)),
             )
-            .then(
-                a.verdict
-                    .p_value
-                    .partial_cmp(&b.verdict.p_value)
-                    .unwrap_or(std::cmp::Ordering::Equal),
-            )
+            .then(a.verdict.p_value.total_cmp(&b.verdict.p_value))
             .then(a.entity.cmp(&b.entity))
     });
     ranked
@@ -193,6 +205,48 @@ mod tests {
         assert_eq!(ranked[0].entity, EntityId(1));
         assert_eq!(ranked[0].score, 20.0);
         assert_eq!(ranked[1].score, 20.0);
+    }
+
+    #[test]
+    fn nan_current_value_never_ranks_first() {
+        // Entity 1's metric has a NaN current value. Whatever the anomaly
+        // fold does with it, the resulting sort key must be a real number
+        // and the candidate must not beat entities with actual evidence.
+        let mut mrf = model_with_anomalies();
+        mrf.current = vec![50.0, f64::NAN, 14.0];
+        let ranked = rank_root_causes(
+            &vm_db(),
+            &mrf,
+            vec![
+                (EntityId(1), verdict(0.001)),
+                (EntityId(0), verdict(0.01)),
+                (EntityId(2), verdict(0.01)),
+            ],
+            20.0,
+        );
+        let order: Vec<EntityId> = ranked.iter().map(|r| r.entity).collect();
+        assert_eq!(order, vec![EntityId(0), EntityId(2), EntityId(1)]);
+        assert!(!ranked[2].score.is_nan());
+    }
+
+    #[test]
+    fn nan_p_values_do_not_scramble_order() {
+        // NaN p-values at equal scores: the sort must stay a strict weak
+        // ordering (total_cmp) and NaN must lose to any real p-value.
+        let mut mrf = model_with_anomalies();
+        mrf.current = vec![50.0, 50.0, 50.0]; // all tie on score
+        let ranked = rank_root_causes(
+            &vm_db(),
+            &mrf,
+            vec![
+                (EntityId(2), verdict(f64::NAN)),
+                (EntityId(1), verdict(0.04)),
+                (EntityId(0), verdict(f64::NAN)),
+            ],
+            20.0,
+        );
+        let order: Vec<EntityId> = ranked.iter().map(|r| r.entity).collect();
+        assert_eq!(order, vec![EntityId(1), EntityId(0), EntityId(2)]);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Parity and accounting regression tests for the per-symptom
+//! memoization layer (`SymptomContext`) and batch diagnosis.
+//!
+//! The memoized path (shared reverse BFS + interned resampling plans)
+//! must be a pure cost optimization: for a fixed seed, every candidate
+//! verdict — and therefore every ranked report — must be bit-identical
+//! to the legacy per-candidate path. These tests pin that contract, plus
+//! the candidate-accounting invariant
+//! `evaluated + pruned + capped + 1 == node_count`.
+
+use murphy_core::config::MurphyConfig;
+use murphy_core::diagnose::{diagnose_batch, diagnose_symptom, diagnose_with_candidates};
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::{evaluate_candidate, evaluate_candidate_prepared, Symptom, SymptomContext};
+use murphy_graph::{
+    build_from_seeds, BuildOptions, RelationshipGraph, ShortestPathSubgraph, SymptomDistances,
+};
+use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use proptest::prelude::*;
+
+/// A randomized star or chain around a victim entity, with one hot
+/// driver at the far end and mildly wiggling intermediates.
+fn topology_env(
+    n: usize,
+    star: bool,
+    amp: f64,
+    phase: f64,
+) -> (MonitoringDb, RelationshipGraph, EntityId, Vec<EntityId>) {
+    let mut db = MonitoringDb::new(10);
+    let entities: Vec<EntityId> = (0..n)
+        .map(|i| db.add_entity(EntityKind::Vm, format!("e{i}")))
+        .collect();
+    let victim = entities[0];
+    if star {
+        for &e in &entities[1..] {
+            db.relate(e, victim, AssociationKind::Related);
+        }
+    } else {
+        for w in entities.windows(2) {
+            db.relate(w[1], w[0], AssociationKind::Related);
+        }
+    }
+    let driver_idx = n - 1;
+    for t in 0..200u64 {
+        let spike = if t >= 180 { 50.0 } else { 0.0 };
+        let drv = 15.0 + amp * ((t as f64) * 0.3 + phase).sin() + spike;
+        for (i, &e) in entities.iter().enumerate() {
+            let v = if i == driver_idx {
+                drv
+            } else if i == 0 {
+                (0.8 * drv + 5.0).min(100.0)
+            } else {
+                10.0 + amp * ((t as f64) * (0.2 + 0.1 * i as f64) + phase).cos()
+            };
+            db.record(e, MetricKind::CpuUtil, t, v);
+        }
+    }
+    let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+    (db, graph, victim, entities)
+}
+
+/// Assert two optional verdicts are bit-identical in every float field.
+fn assert_bit_identical(
+    legacy: &Option<murphy_core::CandidateVerdict>,
+    memoized: &Option<murphy_core::CandidateVerdict>,
+    context: &str,
+) {
+    match (legacy, memoized) {
+        (None, None) => {}
+        (Some(l), Some(m)) => {
+            assert_eq!(l.is_root_cause, m.is_root_cause, "{context}");
+            assert_eq!(l.distance, m.distance, "{context}");
+            assert_eq!(
+                l.counterfactual_mean.to_bits(),
+                m.counterfactual_mean.to_bits(),
+                "{context}"
+            );
+            assert_eq!(l.factual_mean.to_bits(), m.factual_mean.to_bits(), "{context}");
+            assert_eq!(l.p_value.to_bits(), m.p_value.to_bits(), "{context}");
+        }
+        _ => panic!("{context}: one path returned a verdict, the other did not: {legacy:?} vs {memoized:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The shared-reverse-BFS subgraph derivation must equal the
+    /// from-scratch computation for every (candidate, target) pair.
+    #[test]
+    fn shared_reverse_bfs_subgraphs_match_from_scratch(
+        n in 3usize..7,
+        star in any::<bool>(),
+        slack in 0usize..3,
+        amp in 0.5f64..8.0,
+    ) {
+        let (_db, graph, victim, entities) = topology_env(n, star, amp, 0.0);
+        let rev = SymptomDistances::compute(&graph, victim).expect("victim in graph");
+        for &c in &entities {
+            let scratch = ShortestPathSubgraph::compute_with_slack(&graph, c, victim, slack);
+            let shared = ShortestPathSubgraph::compute_with_slack_from(&graph, c, &rev, slack);
+            prop_assert_eq!(&scratch, &shared, "candidate {:?}", c);
+        }
+    }
+
+    /// Memoized candidate evaluation is bit-identical to the legacy
+    /// per-candidate path over random topologies, slacks, and seeds.
+    #[test]
+    fn memoized_verdicts_bit_identical_to_legacy(
+        n in 3usize..6,
+        star in any::<bool>(),
+        seed in any::<u64>(),
+        amp in 0.5f64..8.0,
+        phase in 0.0f64..3.0,
+    ) {
+        let (db, graph, victim, entities) = topology_env(n, star, amp, phase);
+        let mut config = MurphyConfig::fast();
+        config.num_samples = 30;
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+
+        let candidates: Vec<EntityId> =
+            entities.iter().copied().filter(|&e| e != victim).collect();
+        let mut ctx = SymptomContext::new(&graph, victim, config.subgraph_slack);
+        ctx.prepare(&mrf, &graph, &candidates, None);
+
+        for &c in &candidates {
+            let legacy = evaluate_candidate(&mrf, &graph, &symptom, c, &config, seed);
+            let memoized = ctx
+                .prepared(c)
+                .and_then(|p| evaluate_candidate_prepared(&mrf, &symptom, p, &config, seed));
+            assert_bit_identical(&legacy, &memoized, &format!("candidate {c:?}, seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn batch_reports_equal_independent_reports() {
+    let (db, graph, victim, entities) = topology_env(5, true, 4.0, 0.7);
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+    let symptoms: Vec<Symptom> = entities
+        .iter()
+        .map(|&e| Symptom::high(e, MetricKind::CpuUtil))
+        // Duplicate the victim symptom to exercise context reuse.
+        .chain([Symptom::high(victim, MetricKind::CpuUtil)])
+        .collect();
+    let batched = diagnose_batch(&db, &mrf, &graph, &symptoms, &config);
+    assert_eq!(batched.len(), symptoms.len());
+    for (symptom, report) in symptoms.iter().zip(&batched) {
+        let single = diagnose_symptom(&db, &mrf, &graph, symptom, &config);
+        assert_eq!(report, &single, "batch diverged for {symptom:?}");
+        assert_eq!(
+            report.candidates_evaluated
+                + report.candidates_pruned
+                + report.candidates_capped
+                + 1,
+            graph.node_count(),
+            "accounting violated for {symptom:?}: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn accounting_invariant_with_max_candidates_cap() {
+    let (db, graph, victim, _) = topology_env(6, true, 5.0, 1.3);
+    for max_candidates in [0usize, 1, 2, 100] {
+        let mut config = MurphyConfig::fast();
+        config.max_candidates = max_candidates;
+        let mrf =
+            train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+        let report = diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+        assert_eq!(
+            report.candidates_evaluated
+                + report.candidates_pruned
+                + report.candidates_capped
+                + 1,
+            graph.node_count(),
+            "accounting violated at cap {max_candidates}: {report:?}"
+        );
+        if max_candidates > 0 {
+            assert!(report.candidates_evaluated <= max_candidates);
+        }
+    }
+}
+
+#[test]
+fn ablation_candidate_lists_filter_the_symptom_entity() {
+    // Passing every graph entity — symptom included — must not change the
+    // accounting base or evaluate the symptom against itself.
+    let (db, graph, victim, entities) = topology_env(4, false, 3.0, 0.2);
+    let config = MurphyConfig::fast();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+    let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+    let all: Vec<EntityId> = entities.clone();
+    let report = diagnose_with_candidates(&db, &mrf, &graph, &symptom, &all, &config);
+    assert_eq!(report.candidates_evaluated, entities.len() - 1);
+    assert!(report.rank_of(victim).is_none(), "symptom ranked as its own cause");
+}

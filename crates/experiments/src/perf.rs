@@ -9,10 +9,12 @@
 //! statistical rigor; this gives the one-table overview).
 
 use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
+use murphy_core::diagnose::{diagnose_batch, diagnose_symptom};
 use murphy_core::training::{train_mrf, TrainingWindow};
-use murphy_core::MurphyConfig;
+use murphy_core::{evaluate_candidate, MurphyConfig, Symptom};
 use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
 use murphy_sim::enterprise::{generate, EnterpriseConfig};
+use murphy_telemetry::MetricKind;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -90,6 +92,100 @@ pub fn run(app_counts: &[usize], murphy: MurphyConfig) -> Vec<PerfPoint> {
         .collect()
 }
 
+/// Wall-clock comparison of the three ways to diagnose N symptoms: the
+/// legacy per-candidate path (BFS + plan per candidate), a loop of
+/// memoized [`diagnose_symptom`] calls, and one [`diagnose_batch`] call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchPerfPoint {
+    /// Entities in the relationship graph (N).
+    pub entities: usize,
+    /// Symptoms diagnosed.
+    pub symptoms: usize,
+    /// Total candidate evaluations across all symptoms.
+    pub candidates: usize,
+    /// Per-candidate `evaluate_candidate` loop (pre-memoization path), ms.
+    pub legacy_ms: f64,
+    /// N independent `diagnose_symptom` calls (memoized setup), ms.
+    pub loop_ms: f64,
+    /// One `diagnose_batch` call (memoization shared across symptoms), ms.
+    pub batch_ms: f64,
+}
+
+/// Measure the batch-diagnosis speedup on a generated enterprise.
+///
+/// The model is trained once; each timing then covers only the candidate
+/// loop, which is where the memoization acts. To give the cross-symptom
+/// cache something to share, each app's backend entity contributes
+/// `CpuUtil` and `Latency` symptoms (two symptoms per entity — the
+/// [`diagnose_batch`] sweet spot, mirroring how `find_symptoms` reports
+/// incidents).
+pub fn run_batch(app_counts: &[usize], murphy: MurphyConfig) -> Vec<BatchPerfPoint> {
+    app_counts
+        .iter()
+        .map(|&apps| {
+            let config = EnterpriseConfig {
+                num_apps: apps,
+                ..EnterpriseConfig::small(17)
+            };
+            let enterprise = generate(&config);
+            let db = &enterprise.db;
+            let seeds: Vec<_> = enterprise
+                .apps
+                .iter()
+                .flat_map(|a| db.application_members(&a.name))
+                .collect();
+            let graph = build_from_seeds(db, &seeds, BuildOptions::four_hops());
+            let window = TrainingWindow::online(db, murphy.n_train);
+            let mrf = train_mrf(db, &graph, &murphy, window, db.latest_tick());
+
+            let symptoms: Vec<Symptom> = enterprise
+                .apps
+                .iter()
+                .flat_map(|a| {
+                    [
+                        Symptom::high(a.db[0], MetricKind::CpuUtil),
+                        Symptom::high(a.db[0], MetricKind::Latency),
+                    ]
+                })
+                .collect();
+
+            // (a) Legacy: per-candidate subgraph + plan, no memoization.
+            let t0 = Instant::now();
+            let mut candidates_total = 0usize;
+            for symptom in &symptoms {
+                let candidates =
+                    prune_candidates(db, &graph, symptom.entity, murphy.threshold_scale);
+                candidates_total += candidates.len();
+                for &c in &candidates {
+                    let _ = evaluate_candidate(&mrf, &graph, symptom, c, &murphy, murphy.seed);
+                }
+            }
+            let legacy_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // (b) Loop of memoized single-symptom diagnoses.
+            let t1 = Instant::now();
+            for symptom in &symptoms {
+                let _ = diagnose_symptom(db, &mrf, &graph, symptom, &murphy);
+            }
+            let loop_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            // (c) One batch call sharing memoization across symptoms.
+            let t2 = Instant::now();
+            let _ = diagnose_batch(db, &mrf, &graph, &symptoms, &murphy);
+            let batch_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            BatchPerfPoint {
+                entities: graph.node_count(),
+                symptoms: symptoms.len(),
+                candidates: candidates_total,
+                legacy_ms,
+                loop_ms,
+                batch_ms,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +200,16 @@ mod tests {
             assert!(p.diagnose_ms > 0.0);
             assert!(p.edges > p.entities, "relationship graphs are dense-ish");
         }
+    }
+
+    #[test]
+    fn batch_points_measure_all_three_paths() {
+        let points = run_batch(&[1], MurphyConfig::fast().with_num_samples(30));
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.symptoms, 2);
+        assert!(p.legacy_ms > 0.0);
+        assert!(p.loop_ms > 0.0);
+        assert!(p.batch_ms > 0.0);
     }
 }

@@ -31,5 +31,5 @@ pub mod prune;
 pub use build::{build_from_seeds, BuildOptions};
 pub use cycles::CycleStats;
 pub use graph::{NodeIdx, RelationshipGraph};
-pub use paths::ShortestPathSubgraph;
+pub use paths::{ShortestPathSubgraph, SymptomDistances};
 pub use prune::prune_candidates;

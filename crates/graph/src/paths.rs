@@ -43,6 +43,56 @@ where
     dist
 }
 
+/// Reverse BFS distances to one fixed target entity, shared across every
+/// candidate evaluated against the same symptom.
+///
+/// [`ShortestPathSubgraph::compute_with_slack`] runs two BFS traversals per
+/// candidate: forward from the candidate `A` and reverse from the target
+/// `D`. The reverse half depends only on `D` — for a symptom with hundreds
+/// of surviving candidates it is recomputed identically hundreds of times.
+/// Computing it once per symptom yields, for free, the distance
+/// `dist(A→D)` of *every* candidate at once (`dist_to[A]`), and lets
+/// [`ShortestPathSubgraph::compute_with_slack_from`] build each
+/// per-candidate subgraph with a single forward traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymptomDistances {
+    target: NodeIdx,
+    dist_to: Vec<usize>,
+}
+
+impl SymptomDistances {
+    /// One reverse BFS from `to`. Returns `None` when the entity is not in
+    /// the graph.
+    pub fn compute(graph: &RelationshipGraph, to: EntityId) -> Option<Self> {
+        let target = graph.node(to)?;
+        Some(Self {
+            dist_to: bfs_distances_rev(graph, target),
+            target,
+        })
+    }
+
+    /// The target's local node index.
+    pub fn target(&self) -> NodeIdx {
+        self.target
+    }
+
+    /// `dist(v→target)` for every local node index (`usize::MAX` when the
+    /// target is unreachable from `v`).
+    pub fn dist_to(&self) -> &[usize] {
+        &self.dist_to
+    }
+
+    /// `dist(from→target)` in hops, without any per-candidate traversal.
+    /// `None` when `from` is not in the graph or cannot reach the target.
+    pub fn distance_from(&self, graph: &RelationshipGraph, from: EntityId) -> Option<usize> {
+        let a = graph.node(from)?;
+        match self.dist_to[a] {
+            usize::MAX => None,
+            d => Some(d),
+        }
+    }
+}
+
 /// The shortest-path subgraph `T(A→D)` with its resampling order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShortestPathSubgraph {
@@ -83,19 +133,40 @@ impl ShortestPathSubgraph {
         to: EntityId,
         slack: usize,
     ) -> Option<ShortestPathSubgraph> {
+        let rev = SymptomDistances::compute(graph, to)?;
+        Self::compute_with_slack_from(graph, from, &rev, slack)
+    }
+
+    /// [`Self::compute_with_slack`] with the reverse-BFS half precomputed:
+    /// `rev` carries `dist(·→D)` for every node, so only the forward BFS
+    /// from the candidate runs per call. Produces exactly the subgraph
+    /// `compute_with_slack(graph, from, D, slack)` would — callers
+    /// evaluating many candidates against one symptom share one
+    /// [`SymptomDistances`] and halve the traversal work.
+    pub fn compute_with_slack_from(
+        graph: &RelationshipGraph,
+        from: EntityId,
+        rev: &SymptomDistances,
+        slack: usize,
+    ) -> Option<ShortestPathSubgraph> {
         let a = graph.node(from)?;
-        let d = graph.node(to)?;
+        let d = rev.target();
         if a == d {
             return Some(ShortestPathSubgraph {
                 order: vec![d],
                 distance: 0,
             });
         }
+        // Unreachable either way: no forward BFS needed when the reverse
+        // distances already rule the candidate out.
+        if rev.dist_to[a] == usize::MAX {
+            return None;
+        }
         let dist_a = bfs_distances(graph, a);
         if dist_a[d] == usize::MAX {
             return None;
         }
-        let dist_to_d = bfs_distances_rev(graph, d);
+        let dist_to_d = rev.dist_to();
         let total = dist_a[d];
         let mut members: Vec<NodeIdx> = (0..graph.node_count())
             .filter(|&v| {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Fast-scale perf smoke: times online training + per-symptom diagnosis and
-# appends one record to BENCH_perf.json at the repo root.
+# Fast-scale perf smoke: times online training + per-symptom diagnosis —
+# including the legacy-vs-memoized-vs-batch comparison — and appends one
+# record to BENCH_perf.json at the repo root.
 #
 # Usage: scripts/bench-smoke.sh [--scale fast|default|paper]
 # Compare runs with: jq '.[] | {scale, threads, train_ms, diagnose_ms}' BENCH_perf.json
+# Batch series:      jq '.[-1].diagnose_batch' BENCH_perf.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

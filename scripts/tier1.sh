@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build + full test suite.
+# Tier-1 verification: release build + full test suite + lint gate.
 #
 # Usage: scripts/tier1.sh
 # Honors MURPHY_THREADS for the worker pool (see README "Performance").
@@ -8,3 +8,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# Lint gate: warnings are errors. Skipped gracefully where the clippy
+# component isn't installed (minimal toolchains).
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "tier1: cargo clippy unavailable, skipping lint gate" >&2
+fi
