@@ -383,10 +383,37 @@ fn run_bench(scale: Scale, out: &str) {
         .map(|d| d.as_secs())
         .unwrap_or(0);
 
+    let pool_stats = murphy_core::pool::global().stats();
+    // Print the measurements before persisting them: the numbers must
+    // survive an unwritable/corrupt trajectory file.
+    println!(
+        "bench: scale {scale:?}, {} threads — train {train_ms:.0} ms, diagnose {diagnose_ms:.0} ms, total {total_ms:.0} ms",
+        pool_stats.threads,
+    );
+    for p in &points {
+        println!(
+            "bench: perf @{} entities ({} edges, {} slices) — train {:.1} ms, diagnose {:.1} ms ({} candidates)",
+            p.entities, p.edges, p.train_slices, p.train_ms, p.diagnose_ms, p.candidates,
+        );
+    }
+    for p in &batch_points {
+        println!(
+            "bench: batch @{} entities, {} symptoms ({} candidates) — per-candidate {:.1} ms, memoized loop {:.1} ms, diagnose_batch {:.1} ms (plans_built={} plans_reused={})",
+            p.entities, p.symptoms, p.candidates, p.legacy_ms, p.loop_ms, p.batch_ms,
+            p.plans_built, p.plans_reused,
+        );
+    }
+    println!(
+        "bench: pool {} threads, {} batches, {} jobs dispatched",
+        pool_stats.threads, pool_stats.batches_run, pool_stats.jobs_dispatched,
+    );
+
     let record = serde_json::json!({
         "unix_time_secs": unix_time_secs,
         "scale": format!("{scale:?}").to_lowercase(),
-        "threads": murphy_core::pool::global().threads(),
+        "threads": pool_stats.threads,
+        "pool_batches_run": pool_stats.batches_run,
+        "pool_jobs_dispatched": pool_stats.jobs_dispatched,
         "train_ms": train_ms,
         "diagnose_ms": diagnose_ms,
         "total_ms": total_ms,
@@ -404,16 +431,6 @@ fn run_bench(scale: Scale, out: &str) {
             if let Err(e) = std::fs::write(out, json + "\n") {
                 eprintln!("failed to write {out}: {e}");
                 std::process::exit(1);
-            }
-            println!(
-                "bench: scale {scale:?}, {} threads — train {train_ms:.0} ms, diagnose {diagnose_ms:.0} ms, total {total_ms:.0} ms",
-                murphy_core::pool::global().threads(),
-            );
-            for p in &batch_points {
-                println!(
-                    "bench: batch @{} entities, {} symptoms ({} candidates) — per-candidate {:.0} ms, memoized loop {:.0} ms, diagnose_batch {:.0} ms",
-                    p.entities, p.symptoms, p.candidates, p.legacy_ms, p.loop_ms, p.batch_ms,
-                );
             }
             println!("bench: appended record #{} to {out}", trajectory.len());
         }

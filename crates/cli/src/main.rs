@@ -217,6 +217,10 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
             "evaluated {} candidates ({} pruned, {} capped)",
             report.candidates_evaluated, report.candidates_pruned, report.candidates_capped
         );
+        println!(
+            "plan cache: plans_built={} plans_reused={}",
+            report.plans_built, report.plans_reused
+        );
         report.root_causes.iter().map(|r| r.entity).collect()
     } else {
         let kind = match scheme_word.as_str() {
@@ -269,6 +273,10 @@ fn cmd_diagnose_batch(
             report.candidates_evaluated,
             report.candidates_pruned,
             report.candidates_capped,
+        );
+        println!(
+            "plan cache: plans_built={} plans_reused={}",
+            report.plans_built, report.plans_reused
         );
         if report.root_causes.is_empty() {
             println!("no root causes reported");

@@ -46,6 +46,9 @@ fn emulate_info_diagnose_round_trip() {
     assert!(text.contains("1. "), "no ranked output: {text}");
     // The CPU-contention scenario is reliably diagnosed at this seed.
     assert!(text.contains("ground truth"), "ground truth unmarked: {text}");
+    // Cache observability: the plan-interner counters are reported.
+    assert!(text.contains("plans_built="), "no plan cache stats: {text}");
+    assert!(text.contains("plans_reused="), "no plan cache stats: {text}");
 
     std::fs::remove_file(&trace).ok();
 }
@@ -92,6 +95,7 @@ fn diagnose_batch_mode() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("symptoms in one batch"), "{text}");
     assert!(text.contains("1. "), "no ranked output: {text}");
+    assert!(text.contains("plans_built="), "no plan cache stats: {text}");
 
     // Batch mode is Murphy-only: baselines have no batch entry point.
     let out = murphy_bin()

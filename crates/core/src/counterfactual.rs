@@ -107,7 +107,10 @@ pub struct PreparedCandidate {
 pub struct SymptomContext {
     target: EntityId,
     slack: usize,
-    distances: Option<SymptomDistances>,
+    /// The graph the context was built over, shared so the persistent
+    /// pool's `'static` subgraph jobs can hold it without borrowing.
+    graph: Arc<RelationshipGraph>,
+    distances: Option<Arc<SymptomDistances>>,
     prepared: BTreeMap<EntityId, Option<Arc<PreparedCandidate>>>,
     plans: BTreeMap<Vec<usize>, Arc<ResamplePlan>>,
     plans_built: usize,
@@ -115,12 +118,14 @@ pub struct SymptomContext {
 }
 
 impl SymptomContext {
-    /// A context for one symptom entity: runs the single reverse BFS.
+    /// A context for one symptom entity: runs the single reverse BFS and
+    /// snapshots the graph for the pool fan-out.
     pub fn new(graph: &RelationshipGraph, target: EntityId, slack: usize) -> Self {
         Self {
             target,
             slack,
-            distances: SymptomDistances::compute(graph, target),
+            graph: Arc::new(graph.clone()),
+            distances: SymptomDistances::compute(graph, target).map(Arc::new),
             prepared: BTreeMap::new(),
             plans: BTreeMap::new(),
             plans_built: 0,
@@ -135,17 +140,12 @@ impl SymptomContext {
 
     /// Compute (or reuse) the subgraph + plan for every listed candidate.
     ///
-    /// Subgraph derivation is pure and fans out over `pool` when given;
-    /// plan interning is sequential (it deduplicates against the cache).
-    /// Candidates already prepared by an earlier call are skipped, which
-    /// is what lets batch diagnosis reuse one context across symptoms.
-    pub fn prepare(
-        &mut self,
-        mrf: &MrfModel,
-        graph: &RelationshipGraph,
-        candidates: &[EntityId],
-        pool: Option<&WorkerPool>,
-    ) {
+    /// Subgraph derivation is pure and fans out over `pool` when given
+    /// (against the context's own graph snapshot); plan interning is
+    /// sequential (it deduplicates against the cache). Candidates already
+    /// prepared by an earlier call are skipped, which is what lets batch
+    /// diagnosis reuse one context across symptoms.
+    pub fn prepare(&mut self, mrf: &MrfModel, candidates: &[EntityId], pool: Option<&WorkerPool>) {
         let missing: Vec<EntityId> = candidates
             .iter()
             .copied()
@@ -163,12 +163,19 @@ impl SymptomContext {
         };
         let slack = self.slack;
         let subgraphs: Vec<Option<ShortestPathSubgraph>> = match pool {
-            Some(pool) if missing.len() > 1 => pool.run_indexed(missing.len(), |i| {
-                ShortestPathSubgraph::compute_with_slack_from(graph, missing[i], rev, slack)
-            }),
+            Some(pool) if missing.len() > 1 => {
+                let graph = Arc::clone(&self.graph);
+                let rev = Arc::clone(rev);
+                let jobs = missing.clone();
+                pool.run_indexed(jobs.len(), move |i| {
+                    ShortestPathSubgraph::compute_with_slack_from(&graph, jobs[i], &rev, slack)
+                })
+            }
             _ => missing
                 .iter()
-                .map(|&c| ShortestPathSubgraph::compute_with_slack_from(graph, c, rev, slack))
+                .map(|&c| {
+                    ShortestPathSubgraph::compute_with_slack_from(&self.graph, c, rev, slack)
+                })
                 .collect(),
         };
         for (&c, subgraph) in missing.iter().zip(subgraphs) {
@@ -180,7 +187,7 @@ impl SymptomContext {
                     }
                     None => {
                         self.plans_built += 1;
-                        let plan = Arc::new(ResamplePlan::new(mrf, graph, &subgraph));
+                        let plan = Arc::new(ResamplePlan::new(mrf, &self.graph, &subgraph));
                         self.plans.insert(subgraph.order.clone(), Arc::clone(&plan));
                         plan
                     }
@@ -199,6 +206,12 @@ impl SymptomContext {
     /// never prepared or cannot reach the symptom.
     pub fn prepared(&self, candidate: EntityId) -> Option<&PreparedCandidate> {
         self.prepared.get(&candidate)?.as_deref()
+    }
+
+    /// Like [`SymptomContext::prepared`] but returns an owning handle, so
+    /// the diagnosis fan-out can hand the setup to `'static` pool jobs.
+    pub fn prepared_shared(&self, candidate: EntityId) -> Option<Arc<PreparedCandidate>> {
+        self.prepared.get(&candidate)?.as_ref().map(Arc::clone)
     }
 
     /// How many distinct plans were built (cache misses).
@@ -398,7 +411,7 @@ mod tests {
         (db, graph, driver, victim, bystander)
     }
 
-    fn setup() -> (MrfModel, RelationshipGraph, Symptom, EntityId, EntityId) {
+    fn setup() -> (Arc<MrfModel>, RelationshipGraph, Symptom, EntityId, EntityId) {
         let (db, graph, driver, victim, bystander) = incident_env();
         let config = MurphyConfig::fast();
         let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 150), db.latest_tick());
@@ -501,7 +514,7 @@ mod tests {
         let (mrf, graph, symptom, driver, bystander) = setup();
         let config = MurphyConfig::fast();
         let mut ctx = SymptomContext::new(&graph, symptom.entity, config.subgraph_slack);
-        ctx.prepare(&mrf, &graph, &[driver, bystander], None);
+        ctx.prepare(&mrf, &[driver, bystander], None);
         for c in [driver, bystander] {
             let legacy = evaluate_candidate(&mrf, &graph, &symptom, c, &config, 42);
             let memoized = ctx
@@ -516,12 +529,12 @@ mod tests {
         let (mrf, graph, symptom, driver, _) = setup();
         let config = MurphyConfig::fast();
         let mut ctx = SymptomContext::new(&graph, symptom.entity, config.subgraph_slack);
-        ctx.prepare(&mrf, &graph, &[driver, EntityId(999)], None);
+        ctx.prepare(&mrf, &[driver, EntityId(999)], None);
         assert!(ctx.prepared(driver).is_some());
         assert!(ctx.prepared(EntityId(999)).is_none());
         let built = ctx.plans_built();
         // Re-preparing the same candidates does no new work.
-        ctx.prepare(&mrf, &graph, &[driver, EntityId(999)], None);
+        ctx.prepare(&mrf, &[driver, EntityId(999)], None);
         assert_eq!(ctx.plans_built(), built);
     }
 
@@ -552,7 +565,7 @@ mod tests {
             reference: vec![hist, hist, hist],
         };
         let mut ctx = SymptomContext::new(&graph, EntityId(2), 0);
-        ctx.prepare(&mrf, &graph, &[EntityId(0), EntityId(1)], None);
+        ctx.prepare(&mrf, &[EntityId(0), EntityId(1)], None);
         let a = ctx.prepared(EntityId(0)).expect("reachable");
         let b = ctx.prepared(EntityId(1)).expect("reachable");
         assert_eq!(a.subgraph.order, b.subgraph.order);

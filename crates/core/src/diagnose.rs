@@ -15,13 +15,17 @@
 //! share an entity.
 
 use crate::config::MurphyConfig;
-use crate::counterfactual::{evaluate_candidate_prepared, CandidateVerdict, SymptomContext};
+use crate::counterfactual::{
+    evaluate_candidate_prepared, CandidateVerdict, PreparedCandidate, SymptomContext,
+};
 use crate::mrf::MrfModel;
+use crate::pool::WorkerPool;
 use crate::ranking::rank_root_causes;
 use murphy_graph::{prune_candidates, RelationshipGraph};
 use murphy_telemetry::{EntityId, MetricId, MetricKind, MonitoringDb};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Whether the symptom metric is problematically high or low.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,7 +99,7 @@ pub struct RankedRootCause {
 /// `candidates_evaluated + candidates_pruned + candidates_capped + 1`
 /// equals the graph's node count for every [`diagnose_symptom`] /
 /// [`diagnose_batch`] report.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DiagnosisReport {
     /// Confirmed root causes, best first.
     pub root_causes: Vec<RankedRootCause>,
@@ -107,6 +111,29 @@ pub struct DiagnosisReport {
     /// `max_candidates` cap without being evaluated.
     #[serde(default)]
     pub candidates_capped: usize,
+    /// Resampling plans built for this diagnosis (plan-interner cache
+    /// misses in the [`SymptomContext`]).
+    #[serde(default)]
+    pub plans_built: usize,
+    /// Plan builds avoided by the interner (cache hits — candidates whose
+    /// shortest-path subgraphs coincide, or setup reused from an earlier
+    /// diagnosis on the same context).
+    #[serde(default)]
+    pub plans_reused: usize,
+}
+
+/// Equality compares the diagnosis *output* — root causes and candidate
+/// accounting — and deliberately ignores the `plans_built`/`plans_reused`
+/// cache counters: a batch run shares one prepared context across
+/// symptoms, so its per-report plan deltas legitimately differ from
+/// independent runs even though the diagnosis itself is bit-identical.
+impl PartialEq for DiagnosisReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.root_causes == other.root_causes
+            && self.candidates_evaluated == other.candidates_evaluated
+            && self.candidates_pruned == other.candidates_pruned
+            && self.candidates_capped == other.candidates_capped
+    }
 }
 
 impl DiagnosisReport {
@@ -136,7 +163,7 @@ impl DiagnosisReport {
 /// [`diagnose_symptom`] / [`diagnose_batch`] for full accounting.
 pub fn diagnose_with_candidates(
     db: &MonitoringDb,
-    mrf: &MrfModel,
+    mrf: &Arc<MrfModel>,
     graph: &RelationshipGraph,
     symptom: &Symptom,
     candidates: &[EntityId],
@@ -151,15 +178,35 @@ pub fn diagnose_with_candidates(
 /// batch runs) reuse the reverse BFS, subgraphs, and interned plans.
 ///
 /// `ctx` must have been created for `symptom.entity` with the same
-/// `subgraph_slack`, against the same `graph` and `mrf`.
+/// `subgraph_slack`, against the same graph and `mrf` (the context
+/// carries its own graph snapshot; the `_graph` parameter is retained
+/// for signature stability).
 pub fn diagnose_with_context(
     db: &MonitoringDb,
-    mrf: &MrfModel,
-    graph: &RelationshipGraph,
+    mrf: &Arc<MrfModel>,
+    _graph: &RelationshipGraph,
     symptom: &Symptom,
     candidates: &[EntityId],
     config: &MurphyConfig,
     ctx: &mut SymptomContext,
+) -> DiagnosisReport {
+    let pool = config.parallel.then(crate::pool::global);
+    diagnose_with_context_on(db, mrf, symptom, candidates, config, ctx, pool)
+}
+
+/// The core candidate loop. `pool` decides the fan-out: `None` (or a
+/// single-threaded pool, or fewer than two candidates) evaluates
+/// sequentially; otherwise each candidate becomes one pool job. Either
+/// way the output is bit-identical — per-candidate seeds depend only on
+/// the candidate id, and results are placed by index.
+fn diagnose_with_context_on(
+    db: &MonitoringDb,
+    mrf: &Arc<MrfModel>,
+    symptom: &Symptom,
+    candidates: &[EntityId],
+    config: &MurphyConfig,
+    ctx: &mut SymptomContext,
+    pool: Option<&WorkerPool>,
 ) -> DiagnosisReport {
     // An entity is never a candidate root cause for its own symptom;
     // `prune_candidates` already guarantees this, but ablation callers
@@ -176,20 +223,42 @@ pub fn diagnose_with_context(
         eligible.clone()
     };
 
-    let pool = (config.parallel && capped.len() > 1).then(crate::pool::global);
-    ctx.prepare(mrf, graph, &capped, pool);
+    let pool = pool.filter(|p| p.threads() > 1 && capped.len() > 1);
+    let (built0, reused0) = (ctx.plans_built(), ctx.plans_reused());
+    ctx.prepare(mrf, &capped, pool);
+    let (plans_built, plans_reused) =
+        (ctx.plans_built() - built0, ctx.plans_reused() - reused0);
     let ctx: &SymptomContext = ctx; // read-only across the fan-out
 
-    let evaluate = |c: EntityId| -> (EntityId, Option<CandidateVerdict>) {
-        let seed = candidate_seed(config.seed, c);
-        let verdict = ctx
-            .prepared(c)
-            .and_then(|p| evaluate_candidate_prepared(mrf, symptom, p, config, seed));
-        (c, verdict)
-    };
     let verdicts: Vec<(EntityId, Option<CandidateVerdict>)> = match pool {
-        Some(pool) => pool.run_indexed(capped.len(), |i| evaluate(capped[i])),
-        None => capped.iter().map(|&c| evaluate(c)).collect(),
+        Some(pool) => {
+            // The persistent pool's jobs are `'static`: hand them the
+            // model and each candidate's prepared setup through Arcs, and
+            // copy the (small, `Copy`) symptom and config.
+            let prepared: Arc<Vec<(EntityId, Option<Arc<PreparedCandidate>>)>> =
+                Arc::new(capped.iter().map(|&c| (c, ctx.prepared_shared(c))).collect());
+            let mrf = Arc::clone(mrf);
+            let symptom = *symptom;
+            let config = *config;
+            pool.run_indexed(prepared.len(), move |i| {
+                let (c, prep) = &prepared[i];
+                let seed = candidate_seed(config.seed, *c);
+                let verdict = prep
+                    .as_ref()
+                    .and_then(|p| evaluate_candidate_prepared(&mrf, &symptom, p, &config, seed));
+                (*c, verdict)
+            })
+        }
+        None => capped
+            .iter()
+            .map(|&c| {
+                let seed = candidate_seed(config.seed, c);
+                let verdict = ctx
+                    .prepared(c)
+                    .and_then(|p| evaluate_candidate_prepared(mrf, symptom, p, config, seed));
+                (c, verdict)
+            })
+            .collect(),
     };
 
     let confirmed: Vec<(EntityId, CandidateVerdict)> = verdicts
@@ -202,6 +271,8 @@ pub fn diagnose_with_context(
         candidates_evaluated: capped.len(),
         candidates_pruned: 0,
         candidates_capped: eligible.len().saturating_sub(capped.len()),
+        plans_built,
+        plans_reused,
         root_causes,
     }
 }
@@ -209,14 +280,44 @@ pub fn diagnose_with_context(
 /// Full pipeline entry: prune from the symptom entity, then evaluate.
 pub fn diagnose_symptom(
     db: &MonitoringDb,
-    mrf: &MrfModel,
+    mrf: &Arc<MrfModel>,
     graph: &RelationshipGraph,
     symptom: &Symptom,
     config: &MurphyConfig,
 ) -> DiagnosisReport {
+    let pool = config.parallel.then(crate::pool::global);
+    diagnose_symptom_impl(db, mrf, graph, symptom, config, pool)
+}
+
+/// [`diagnose_symptom`] on an explicit [`WorkerPool`] instance,
+/// overriding `config.parallel` and the process-global pool.
+///
+/// The report is bit-identical to [`diagnose_symptom`] for any pool size
+/// — this entry point exists so tests (and embedders managing their own
+/// pools) can vary thread counts within one process, which the
+/// `MURPHY_THREADS`-sized global pool cannot.
+pub fn diagnose_symptom_on(
+    db: &MonitoringDb,
+    mrf: &Arc<MrfModel>,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    config: &MurphyConfig,
+    pool: &WorkerPool,
+) -> DiagnosisReport {
+    diagnose_symptom_impl(db, mrf, graph, symptom, config, Some(pool))
+}
+
+fn diagnose_symptom_impl(
+    db: &MonitoringDb,
+    mrf: &Arc<MrfModel>,
+    graph: &RelationshipGraph,
+    symptom: &Symptom,
+    config: &MurphyConfig,
+    pool: Option<&WorkerPool>,
+) -> DiagnosisReport {
     let mut ctx = SymptomContext::new(graph, symptom.entity, config.subgraph_slack);
     let candidates = prune_candidates(db, graph, symptom.entity, config.threshold_scale);
-    diagnose_pruned(db, mrf, graph, symptom, &candidates, config, &mut ctx)
+    diagnose_pruned(db, mrf, graph, symptom, &candidates, config, &mut ctx, pool)
 }
 
 /// Diagnose many symptoms against one trained model.
@@ -228,10 +329,35 @@ pub fn diagnose_symptom(
 /// depends only on its id, never on batch position).
 pub fn diagnose_batch(
     db: &MonitoringDb,
-    mrf: &MrfModel,
+    mrf: &Arc<MrfModel>,
     graph: &RelationshipGraph,
     symptoms: &[Symptom],
     config: &MurphyConfig,
+) -> Vec<DiagnosisReport> {
+    let pool = config.parallel.then(crate::pool::global);
+    diagnose_batch_impl(db, mrf, graph, symptoms, config, pool)
+}
+
+/// [`diagnose_batch`] on an explicit [`WorkerPool`] instance — see
+/// [`diagnose_symptom_on`].
+pub fn diagnose_batch_on(
+    db: &MonitoringDb,
+    mrf: &Arc<MrfModel>,
+    graph: &RelationshipGraph,
+    symptoms: &[Symptom],
+    config: &MurphyConfig,
+    pool: &WorkerPool,
+) -> Vec<DiagnosisReport> {
+    diagnose_batch_impl(db, mrf, graph, symptoms, config, Some(pool))
+}
+
+fn diagnose_batch_impl(
+    db: &MonitoringDb,
+    mrf: &Arc<MrfModel>,
+    graph: &RelationshipGraph,
+    symptoms: &[Symptom],
+    config: &MurphyConfig,
+    pool: Option<&WorkerPool>,
 ) -> Vec<DiagnosisReport> {
     let mut pruned: BTreeMap<EntityId, Vec<EntityId>> = BTreeMap::new();
     let mut contexts: BTreeMap<EntityId, SymptomContext> = BTreeMap::new();
@@ -247,7 +373,7 @@ pub fn diagnose_batch(
             let ctx = contexts.entry(symptom.entity).or_insert_with(|| {
                 SymptomContext::new(graph, symptom.entity, config.subgraph_slack)
             });
-            diagnose_pruned(db, mrf, graph, symptom, &candidates, config, ctx)
+            diagnose_pruned(db, mrf, graph, symptom, &candidates, config, ctx, pool)
         })
         .collect()
 }
@@ -255,16 +381,18 @@ pub fn diagnose_batch(
 /// Shared tail of [`diagnose_symptom`] and [`diagnose_batch`]: evaluate
 /// the pruning survivors and fix up the accounting so that
 /// `evaluated + pruned + capped + 1 == node_count`.
+#[allow(clippy::too_many_arguments)]
 fn diagnose_pruned(
     db: &MonitoringDb,
-    mrf: &MrfModel,
+    mrf: &Arc<MrfModel>,
     graph: &RelationshipGraph,
     symptom: &Symptom,
     candidates: &[EntityId],
     config: &MurphyConfig,
     ctx: &mut SymptomContext,
+    pool: Option<&WorkerPool>,
 ) -> DiagnosisReport {
-    let mut report = diagnose_with_context(db, mrf, graph, symptom, candidates, config, ctx);
+    let mut report = diagnose_with_context_on(db, mrf, symptom, candidates, config, ctx, pool);
     // `prune_candidates` never returns the symptom entity, so the node
     // count partitions exactly into {evaluated, capped, pruned, symptom}.
     report.candidates_pruned = graph

@@ -47,11 +47,16 @@ impl Factor {
         self.predict_into(state, &mut buf)
     }
 
-    /// Allocation-free point prediction using a caller-provided scratch
-    /// buffer for the feature gather.
+    /// Allocation-free point prediction.
+    ///
+    /// Routes through [`murphy_learn::Regressor::predict_indexed`]: linear
+    /// models read features straight out of `state` (no gather at all);
+    /// other families gather into `buf`. Either way the result is
+    /// bit-identical to gather-then-predict.
     pub fn predict_into(&self, state: &[f64], buf: &mut Vec<f64>) -> f64 {
-        self.gather_into(state, buf);
-        self.target.kind.clamp(self.model.predict(buf))
+        self.target
+            .kind
+            .clamp(self.model.predict_indexed(state, &self.feature_positions, buf))
     }
 
     /// Draw one sample of the target given the current state, clamped to
@@ -61,12 +66,13 @@ impl Factor {
         self.sample_into(state, &mut buf, rng)
     }
 
-    /// Allocation-free sampling using a caller-provided scratch buffer for
-    /// the feature gather. Draws are bit-identical to [`Factor::sample`]
-    /// for the same RNG state.
+    /// Allocation-free sampling (the Gibbs inner call). Draws are
+    /// bit-identical to [`Factor::sample`] for the same RNG state; for
+    /// ridge factors the feature gather is skipped entirely.
     pub fn sample_into<R: Rng>(&self, state: &[f64], buf: &mut Vec<f64>, rng: &mut R) -> f64 {
-        self.gather_into(state, buf);
-        self.target.kind.clamp(self.model.sample(buf, rng))
+        self.target
+            .kind
+            .clamp(self.model.sample_indexed(state, &self.feature_positions, buf, rng))
     }
 }
 

@@ -45,9 +45,12 @@ pub use counterfactual::{
     evaluate_candidate, evaluate_candidate_prepared, CandidateVerdict, PreparedCandidate,
     SymptomContext,
 };
-pub use diagnose::{diagnose_batch, DiagnosisReport, RankedRootCause, Symptom};
+pub use diagnose::{
+    diagnose_batch, diagnose_batch_on, diagnose_symptom, diagnose_symptom_on, DiagnosisReport,
+    RankedRootCause, Symptom,
+};
 pub use explain::{Explanation, ExplanationStep};
 pub use labels::EntityLabel;
 pub use mrf::MrfModel;
 pub use murphy::Murphy;
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};

@@ -20,6 +20,7 @@ use murphy_graph::RelationshipGraph;
 use murphy_learn::{select_top_features, TrainedModel};
 use murphy_stats::Summary;
 use murphy_telemetry::{MetricId, MetricKind, MonitoringDb};
+use std::sync::Arc;
 
 /// The tick window `[from, to)` to train on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +112,7 @@ pub fn train_mrf_blended(
     config: &MurphyConfig,
     blend: BlendedWindow,
     current_tick: u64,
-) -> MrfModel {
+) -> Arc<MrfModel> {
     let index = metric_index_for(db, graph);
     let ticks = blend.ticks();
 
@@ -162,13 +163,18 @@ fn entity_metric_kinds(db: &MonitoringDb, entity: murphy_telemetry::EntityId) ->
 /// `window` selects the training ticks; `current_tick` is the diagnosis
 /// time whose values become the model's current state (normally
 /// `db.latest_tick()`).
+///
+/// The model is returned in an [`Arc`]: the diagnosis fan-out hands
+/// clones of it to the persistent worker pool (whose `'static` jobs
+/// cannot borrow), and `&Arc<MrfModel>` derefs to `&MrfModel` everywhere
+/// a plain reference is expected.
 pub fn train_mrf(
     db: &MonitoringDb,
     graph: &RelationshipGraph,
     config: &MurphyConfig,
     window: TrainingWindow,
     current_tick: u64,
-) -> MrfModel {
+) -> Arc<MrfModel> {
     let index = metric_index_for(db, graph);
 
     // Extract training columns once per metric.
@@ -203,6 +209,22 @@ fn metric_index_for(db: &MonitoringDb, graph: &RelationshipGraph) -> MetricIndex
     MetricIndex::new(ids)
 }
 
+/// Everything a single factor fit reads, bundled once per training run so
+/// the persistent pool's `'static` jobs can share it through one `Arc`
+/// instead of borrowing from the caller's stack. All fields are read-only
+/// during the fan-out.
+struct FitInputs {
+    config: MurphyConfig,
+    index: MetricIndex,
+    /// One training column per indexed metric.
+    columns: Vec<Vec<f64>>,
+    /// Per-position candidate feature positions (all metrics of the
+    /// target's incoming neighbor entities), resolved sequentially up
+    /// front so the jobs never touch the graph.
+    candidate_positions: Vec<Vec<usize>>,
+    trainable: bool,
+}
+
 /// The shared back half of training: current state, history summaries, and
 /// the factor fits over prepared training columns. Both the online and the
 /// blended trainers feed into this, so the (parallel) fit loop exists in
@@ -217,63 +239,72 @@ fn assemble_mrf(
     reference: Vec<Summary>,
     current_tick: u64,
     trainable: bool,
-) -> MrfModel {
+) -> Arc<MrfModel> {
     let current: Vec<f64> = index.ids().iter().map(|&m| db.value_at(m, current_tick)).collect();
     let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
 
+    // Resolve each factor's candidate features from the graph before the
+    // fan-out (graph lookups stay on the caller's thread).
+    let candidate_positions: Vec<Vec<usize>> = (0..index.len())
+        .map(|pos| {
+            let mut cps: Vec<usize> = Vec::new();
+            for n in graph.in_nbr_entities(index.id(pos).entity) {
+                cps.extend_from_slice(index.entity_positions(n));
+            }
+            cps
+        })
+        .collect();
+
     // Fit one factor per metric from its in-neighbors' metrics. The fits
-    // are independent (each reads the shared columns, none writes), with
+    // are independent (each reads the shared inputs, none writes), with
     // deterministic per-position seeds — so the pool can fan them out and
     // still produce a bit-identical model to a sequential fit.
-    let factors: Vec<Option<Factor>> = crate::pool::global().run_indexed(index.len(), |pos| {
-        fit_factor(graph, config, &index, &columns, pos, trainable)
+    let n_jobs = index.len();
+    let inputs = Arc::new(FitInputs {
+        config: *config,
+        index: index.clone(),
+        columns,
+        candidate_positions,
+        trainable,
     });
+    let factors: Vec<Option<Factor>> = crate::pool::global()
+        .run_indexed(n_jobs, move |pos| fit_factor(&inputs, pos));
 
-    MrfModel {
+    Arc::new(MrfModel {
         index,
         factors,
         current,
         history,
         reference,
-    }
+    })
 }
 
 /// Fit the factor for one metric position, or `None` when no usable model
 /// exists (empty window, no data, or a numeric failure).
-fn fit_factor(
-    graph: &RelationshipGraph,
-    config: &MurphyConfig,
-    index: &MetricIndex,
-    columns: &[Vec<f64>],
-    pos: usize,
-    trainable: bool,
-) -> Option<Factor> {
-    let target_id = index.id(pos);
-    let target_col = columns[pos].as_slice();
-    if !trainable || target_col.is_empty() {
+fn fit_factor(inputs: &FitInputs, pos: usize) -> Option<Factor> {
+    let target_id = inputs.index.id(pos);
+    let target_col = inputs.columns[pos].as_slice();
+    if !inputs.trainable || target_col.is_empty() {
         return None;
     }
     // Candidate features: all metrics of incoming neighbor entities,
     // borrowed as slices from the shared column store — no per-factor
     // cloning of the training series.
-    let mut candidate_positions: Vec<usize> = Vec::new();
-    for n in graph.in_nbr_entities(target_id.entity) {
-        candidate_positions.extend_from_slice(index.entity_positions(n));
-    }
+    let candidate_positions = inputs.candidate_positions[pos].as_slice();
     let candidate_cols: Vec<&[f64]> = candidate_positions
         .iter()
-        .map(|&p| columns[p].as_slice())
+        .map(|&p| inputs.columns[p].as_slice())
         .collect();
-    let chosen = select_top_features(&candidate_cols, target_col, config.feature_budget);
+    let chosen = select_top_features(&candidate_cols, target_col, inputs.config.feature_budget);
     let feature_positions: Vec<usize> = chosen.iter().map(|&i| candidate_positions[i]).collect();
-    let feature_ids: Vec<MetricId> = feature_positions.iter().map(|&p| index.id(p)).collect();
+    let feature_ids: Vec<MetricId> = feature_positions.iter().map(|&p| inputs.index.id(p)).collect();
 
     // Assemble training rows.
     let rows: Vec<Vec<f64>> = (0..target_col.len())
-        .map(|t| feature_positions.iter().map(|&p| columns[p][t]).collect())
+        .map(|t| feature_positions.iter().map(|&p| inputs.columns[p][t]).collect())
         .collect();
-    let seed = config.seed ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    match TrainedModel::fit(config.model, &rows, target_col, seed) {
+    let seed = inputs.config.seed ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    match TrainedModel::fit(inputs.config.model, &rows, target_col, seed) {
         Ok(model) => Some(Factor {
             target: target_id,
             feature_positions,

@@ -122,7 +122,7 @@ proptest! {
         let candidates: Vec<EntityId> =
             entities.iter().copied().filter(|&e| e != victim).collect();
         let mut ctx = SymptomContext::new(&graph, victim, config.subgraph_slack);
-        ctx.prepare(&mrf, &graph, &candidates, None);
+        ctx.prepare(&mrf, &candidates, None);
 
         for &c in &candidates {
             let legacy = evaluate_candidate(&mrf, &graph, &symptom, c, &config, seed);

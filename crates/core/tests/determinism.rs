@@ -1,0 +1,218 @@
+//! Determinism pinning for the persistent worker pool.
+//!
+//! The fixed-seed contract: for a given `(db, graph, symptom, config)`,
+//! diagnosis output is **bit-identical** regardless of how the candidate
+//! fan-out is scheduled — sequentially, over a 2/4/8-thread pool, or
+//! repeatedly on one long-lived pool instance whose workers have already
+//! served other batches. Thread counts are varied in-process through
+//! explicit [`WorkerPool`] instances and the `diagnose_*_on` entry points
+//! (the `MURPHY_THREADS`-sized global pool is fixed per process;
+//! `scripts/tier1.sh` additionally runs the whole suite under
+//! `MURPHY_THREADS=1` and `=4`).
+//!
+//! Work stealing only decides *who computes* an index, never where its
+//! result lands, and per-candidate seeds are pure functions of stable
+//! entity ids — these tests are the tripwire for anything that breaks
+//! either half of that argument.
+
+use murphy_core::config::MurphyConfig;
+use murphy_core::diagnose::{diagnose_batch_on, diagnose_symptom_on};
+use murphy_core::training::{train_mrf, TrainingWindow};
+use murphy_core::{DiagnosisReport, Symptom, WorkerPool};
+use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph};
+use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use proptest::prelude::*;
+
+/// A randomized star or chain around a victim entity, with one hot
+/// driver at the far end and mildly wiggling intermediates.
+fn topology_env(
+    n: usize,
+    star: bool,
+    amp: f64,
+    phase: f64,
+) -> (MonitoringDb, RelationshipGraph, EntityId, Vec<EntityId>) {
+    let mut db = MonitoringDb::new(10);
+    let entities: Vec<EntityId> = (0..n)
+        .map(|i| db.add_entity(EntityKind::Vm, format!("e{i}")))
+        .collect();
+    let victim = entities[0];
+    if star {
+        for &e in &entities[1..] {
+            db.relate(e, victim, AssociationKind::Related);
+        }
+    } else {
+        for w in entities.windows(2) {
+            db.relate(w[1], w[0], AssociationKind::Related);
+        }
+    }
+    let driver_idx = n - 1;
+    for t in 0..200u64 {
+        let spike = if t >= 180 { 50.0 } else { 0.0 };
+        let drv = 15.0 + amp * ((t as f64) * 0.3 + phase).sin() + spike;
+        for (i, &e) in entities.iter().enumerate() {
+            // Intermediates catch a partial spike too, so several
+            // entities clear the anomaly threshold and the candidate
+            // fan-out has real parallel work to schedule.
+            let v = if i == driver_idx {
+                drv
+            } else if i == 0 {
+                (0.8 * drv + 5.0).min(100.0)
+            } else {
+                10.0 + 0.6 * spike + amp * ((t as f64) * (0.2 + 0.1 * i as f64) + phase).cos()
+            };
+            db.record(e, MetricKind::CpuUtil, t, v);
+        }
+    }
+    let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+    (db, graph, victim, entities)
+}
+
+/// Bitwise equality of two reports: counts exactly, every float field
+/// compared through `to_bits()` (the `PartialEq` impl would hide a
+/// ±1-ulp drift — exactly the regression these tests exist to catch).
+fn assert_reports_bit_identical(a: &DiagnosisReport, b: &DiagnosisReport, context: &str) {
+    assert_eq!(a.candidates_evaluated, b.candidates_evaluated, "{context}");
+    assert_eq!(a.candidates_pruned, b.candidates_pruned, "{context}");
+    assert_eq!(a.candidates_capped, b.candidates_capped, "{context}");
+    assert_eq!(
+        a.root_causes.len(),
+        b.root_causes.len(),
+        "{context}: {:?} vs {:?}",
+        a.root_causes,
+        b.root_causes
+    );
+    for (x, y) in a.root_causes.iter().zip(&b.root_causes) {
+        assert_eq!(x.entity, y.entity, "{context}");
+        assert_eq!(x.metric, y.metric, "{context}");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{context}: score drift");
+        assert_eq!(x.verdict.is_root_cause, y.verdict.is_root_cause, "{context}");
+        assert_eq!(x.verdict.distance, y.verdict.distance, "{context}");
+        assert_eq!(
+            x.verdict.counterfactual_mean.to_bits(),
+            y.verdict.counterfactual_mean.to_bits(),
+            "{context}: counterfactual_mean drift"
+        );
+        assert_eq!(
+            x.verdict.factual_mean.to_bits(),
+            y.verdict.factual_mean.to_bits(),
+            "{context}: factual_mean drift"
+        );
+        assert_eq!(
+            x.verdict.p_value.to_bits(),
+            y.verdict.p_value.to_bits(),
+            "{context}: p_value drift"
+        );
+    }
+}
+
+fn fast_config() -> MurphyConfig {
+    let mut config = MurphyConfig::fast();
+    config.num_samples = 30;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// One symptom, one trained model, pools of 1/2/4/8 threads: every
+    /// report must be bit-identical to the sequential reference.
+    #[test]
+    fn diagnosis_is_bit_identical_across_thread_counts(
+        n in 3usize..6,
+        star in any::<bool>(),
+        amp in 0.5f64..8.0,
+        phase in 0.0f64..3.0,
+    ) {
+        let (db, graph, victim, _) = topology_env(n, star, amp, phase);
+        let config = fast_config();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+
+        let reference =
+            diagnose_symptom_on(&db, &mrf, &graph, &symptom, &config, &WorkerPool::new(1));
+        for threads in [2usize, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let report = diagnose_symptom_on(&db, &mrf, &graph, &symptom, &config, &pool);
+            assert_reports_bit_identical(
+                &reference,
+                &report,
+                &format!("threads={threads}, n={n}, star={star}"),
+            );
+        }
+    }
+
+    /// Batch diagnosis over every entity (with a duplicated symptom to
+    /// exercise context reuse) must be bit-identical across pool sizes.
+    #[test]
+    fn batch_is_bit_identical_across_thread_counts(
+        n in 3usize..6,
+        star in any::<bool>(),
+        amp in 0.5f64..8.0,
+    ) {
+        let (db, graph, victim, entities) = topology_env(n, star, amp, 0.4);
+        let config = fast_config();
+        let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+        let symptoms: Vec<Symptom> = entities
+            .iter()
+            .map(|&e| Symptom::high(e, MetricKind::CpuUtil))
+            .chain([Symptom::high(victim, MetricKind::CpuUtil)])
+            .collect();
+
+        let reference =
+            diagnose_batch_on(&db, &mrf, &graph, &symptoms, &config, &WorkerPool::new(1));
+        for threads in [2usize, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let reports = diagnose_batch_on(&db, &mrf, &graph, &symptoms, &config, &pool);
+            prop_assert_eq!(reports.len(), reference.len());
+            for (i, (a, b)) in reference.iter().zip(&reports).enumerate() {
+                assert_reports_bit_identical(
+                    a,
+                    b,
+                    &format!("threads={threads}, symptom #{i}"),
+                );
+            }
+        }
+    }
+}
+
+/// Reusing one pool instance across many diagnoses — the production
+/// shape: one long-lived global pool serving every batch — must not leak
+/// state between runs.
+#[test]
+fn repeated_runs_on_one_pool_instance_are_bit_identical() {
+    let (db, graph, victim, _) = topology_env(5, true, 4.0, 1.1);
+    let config = fast_config();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+    let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+
+    let pool = WorkerPool::new(4);
+    let first = diagnose_symptom_on(&db, &mrf, &graph, &symptom, &config, &pool);
+    for run in 1..5 {
+        let again = diagnose_symptom_on(&db, &mrf, &graph, &symptom, &config, &pool);
+        assert_reports_bit_identical(&first, &again, &format!("run #{run} on shared pool"));
+    }
+    // The same workers served every run — batches accumulated, threads
+    // did not.
+    let stats = pool.stats();
+    assert!(stats.batches_run >= 5, "expected ≥5 batches, got {}", stats.batches_run);
+    assert!(stats.jobs_dispatched > stats.batches_run, "{stats:?}");
+    assert_eq!(stats.threads, 4);
+    assert_eq!(stats.live_workers, 3, "3 workers + the submitting thread");
+}
+
+/// The explicit-pool entry point must agree with the config-driven one
+/// (sequential flavor), pinning that `diagnose_symptom_on` is a pure
+/// scheduling override.
+#[test]
+fn explicit_pool_matches_config_driven_sequential_path() {
+    let (db, graph, victim, _) = topology_env(4, false, 3.0, 0.8);
+    let mut config = fast_config();
+    let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+    let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+
+    config.parallel = false;
+    let sequential = murphy_core::diagnose::diagnose_symptom(&db, &mrf, &graph, &symptom, &config);
+    config.parallel = true;
+    let pooled = diagnose_symptom_on(&db, &mrf, &graph, &symptom, &config, &WorkerPool::new(8));
+    assert_reports_bit_identical(&sequential, &pooled, "sequential vs explicit 8-thread pool");
+}

@@ -153,7 +153,9 @@ fn test_factor() -> Factor {
 proptest! {
     /// `sample_into` must agree bit-for-bit with `sample` for arbitrary
     /// states and seeds, even when the scratch buffer carries junk from a
-    /// previous gather.
+    /// previous gather. (The ridge path is gather-free — it reads the
+    /// state through the position map and may leave the scratch buffer
+    /// untouched — so nothing is asserted about the buffer's contents.)
     #[test]
     fn sample_into_matches_sample(
         state in proptest::collection::vec(-1e3f64..1e3, 7),
@@ -167,7 +169,6 @@ proptest! {
         let plain = factor.sample(&state, &mut rng_a);
         let scratched = factor.sample_into(&state, &mut buf, &mut rng_b);
         prop_assert_eq!(plain.to_bits(), scratched.to_bits());
-        prop_assert_eq!(buf.len(), factor.feature_positions.len());
     }
 
     /// Same contract for the point prediction.

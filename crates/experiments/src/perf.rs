@@ -109,6 +109,12 @@ pub struct BatchPerfPoint {
     pub loop_ms: f64,
     /// One `diagnose_batch` call (memoization shared across symptoms), ms.
     pub batch_ms: f64,
+    /// Resampling plans built across the batch call (interner misses).
+    #[serde(default)]
+    pub plans_built: usize,
+    /// Plan builds the interner avoided across the batch call (hits).
+    #[serde(default)]
+    pub plans_reused: usize,
 }
 
 /// Measure the batch-diagnosis speedup on a generated enterprise.
@@ -171,8 +177,10 @@ pub fn run_batch(app_counts: &[usize], murphy: MurphyConfig) -> Vec<BatchPerfPoi
 
             // (c) One batch call sharing memoization across symptoms.
             let t2 = Instant::now();
-            let _ = diagnose_batch(db, &mrf, &graph, &symptoms, &murphy);
+            let reports = diagnose_batch(db, &mrf, &graph, &symptoms, &murphy);
             let batch_ms = t2.elapsed().as_secs_f64() * 1e3;
+            let plans_built = reports.iter().map(|r| r.plans_built).sum();
+            let plans_reused = reports.iter().map(|r| r.plans_reused).sum();
 
             BatchPerfPoint {
                 entities: graph.node_count(),
@@ -181,6 +189,8 @@ pub fn run_batch(app_counts: &[usize], murphy: MurphyConfig) -> Vec<BatchPerfPoi
                 legacy_ms,
                 loop_ms,
                 batch_ms,
+                plans_built,
+                plans_reused,
             }
         })
         .collect()
@@ -211,5 +221,8 @@ mod tests {
         assert!(p.legacy_ms > 0.0);
         assert!(p.loop_ms > 0.0);
         assert!(p.batch_ms > 0.0);
+        // Both symptoms share one entity, so the second one's candidates
+        // are fully prepared already: the cache must see some traffic.
+        assert!(p.plans_built > 0, "batch built no plans: {p:?}");
     }
 }

@@ -43,6 +43,20 @@ pub trait Regressor: Send + Sync {
     /// Predict the target for one feature vector.
     fn predict(&self, x: &[f64]) -> f64;
 
+    /// Predict from a dense state vector and the positions of this
+    /// model's features within it, without materializing the feature
+    /// vector when the model can avoid it.
+    ///
+    /// The default gathers into `scratch` and calls [`Regressor::predict`]
+    /// — bit-identical to a caller-side gather. Linear models override
+    /// with a direct indexed dot product (same operation sequence, so
+    /// still bit-identical) and never touch `scratch`.
+    fn predict_indexed(&self, state: &[f64], positions: &[usize], scratch: &mut Vec<f64>) -> f64 {
+        scratch.clear();
+        scratch.extend(positions.iter().map(|&p| state[p]));
+        self.predict(scratch)
+    }
+
     /// Number of features the model expects.
     fn num_features(&self) -> usize;
 }
@@ -144,9 +158,28 @@ impl TrainedModel {
         self.regressor.predict(x)
     }
 
+    /// Point prediction straight from a dense state vector and feature
+    /// positions (see [`Regressor::predict_indexed`]).
+    pub fn predict_indexed(&self, state: &[f64], positions: &[usize], scratch: &mut Vec<f64>) -> f64 {
+        self.regressor.predict_indexed(state, positions, scratch)
+    }
+
     /// Draw one sample from `N(predict(x), residual_std²)`.
     pub fn sample<R: Rng>(&self, x: &[f64], rng: &mut R) -> f64 {
         self.predict(x) + gaussian(rng) * self.residual_std
+    }
+
+    /// [`TrainedModel::sample`] from a dense state vector and feature
+    /// positions. Consumes the RNG identically to `sample` on a gathered
+    /// buffer, so draws are bit-identical for the same RNG state.
+    pub fn sample_indexed<R: Rng>(
+        &self,
+        state: &[f64],
+        positions: &[usize],
+        scratch: &mut Vec<f64>,
+        rng: &mut R,
+    ) -> f64 {
+        self.predict_indexed(state, positions, scratch) + gaussian(rng) * self.residual_std
     }
 
     /// Feature count.

@@ -6,6 +6,22 @@
 //! `(XᵀX + λI)·w = Xᵀy` with Cholesky, over standardized features and a
 //! centered target — standardization makes one λ meaningful across metrics
 //! with wildly different scales (CPU %, MB, sessions).
+//!
+//! Prediction does **not** re-standardize per call. At fit time the
+//! standardization is folded into the parameters — `w'_j = w_j / σ_j` and
+//! `b' = b − Σ_j μ_j·w'_j` — so the hot path is a single multiply-add
+//! loop over raw features:
+//!
+//! ```text
+//! ŷ = b' + Σ_j x_j · w'_j
+//! ```
+//!
+//! Algebraically identical to standardize-then-dot; numerically it
+//! differs by ordinary rounding (≲1 ulp per term) except where the folded
+//! terms are exactly zero (constant features, single-sample fits), where
+//! it is bit-identical — `crates/learn/tests/ridge_parity.rs` pins both
+//! claims. The standardized parameters are retained for inspection and
+//! for the [`Ridge::predict_standardized`] reference path.
 
 use crate::linalg::{solve_spd, Matrix};
 use crate::model::{validate, FitError, Regressor};
@@ -22,6 +38,11 @@ pub struct Ridge {
     weights: Vec<f64>,
     /// Target mean (intercept in standardized space).
     intercept: f64,
+    /// Pre-divided weights `w_j / σ_j` over **raw** features.
+    fused_weights: Vec<f64>,
+    /// Intercept with the feature means folded in:
+    /// `intercept − Σ_j μ_j · fused_weights_j`.
+    fused_intercept: f64,
 }
 
 impl Ridge {
@@ -77,11 +98,24 @@ impl Ridge {
         let weights = solve_spd(&gram, &xty)
             .ok_or(FitError::Numeric("ridge normal equations not positive definite"))?;
 
+        // Fold the standardization into the parameters once, at fit time.
+        let fused_weights: Vec<f64> = weights
+            .iter()
+            .zip(&feature_stds)
+            .map(|(&w, &s)| w / s)
+            .collect();
+        let mut fused_intercept = intercept;
+        for (&m, &fw) in feature_means.iter().zip(&fused_weights) {
+            fused_intercept -= m * fw;
+        }
+
         Ok(Self {
             feature_means,
             feature_stds,
             weights,
             intercept,
+            fused_weights,
+            fused_intercept,
         })
     }
 
@@ -94,23 +128,68 @@ impl Ridge {
     pub fn intercept(&self) -> f64 {
         self.intercept
     }
-}
 
-impl Regressor for Ridge {
-    fn predict(&self, x: &[f64]) -> f64 {
+    /// Per-feature standardization means (for inspection/tests).
+    pub fn feature_means(&self) -> &[f64] {
+        &self.feature_means
+    }
+
+    /// Per-feature standardization deviations, floored (for
+    /// inspection/tests).
+    pub fn feature_stds(&self) -> &[f64] {
+        &self.feature_stds
+    }
+
+    /// Pre-divided weights over raw features (`w_j / σ_j`).
+    pub fn fused_weights(&self) -> &[f64] {
+        &self.fused_weights
+    }
+
+    /// Intercept with the feature means folded in.
+    pub fn fused_intercept(&self) -> f64 {
+        self.fused_intercept
+    }
+
+    /// The legacy standardize-then-dot formulation, kept as the reference
+    /// implementation for the fused hot path (`ridge_parity.rs` compares
+    /// the two).
+    pub fn predict_standardized(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.weights.len());
-        // Standardize-and-dot inline, with the exact accumulation order of
-        // the allocating `dot(&std, &weights)` formulation it replaces, so
-        // predictions stay bit-identical.
         let mut acc = 0.0;
         for (j, &v) in x.iter().enumerate() {
             acc += (v - self.feature_means[j]) / self.feature_stds[j] * self.weights[j];
         }
         self.intercept + acc
     }
+}
+
+impl Regressor for Ridge {
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.fused_weights.len());
+        // One multiply-add per feature over raw values — no subtraction or
+        // division in the loop. Plain `acc + v * w` (not `f64::mul_add`):
+        // without compile-time FMA codegen, `mul_add` lowers to a slow
+        // libm call and changes rounding.
+        let mut acc = self.fused_intercept;
+        for (&v, &w) in x.iter().zip(&self.fused_weights) {
+            acc += v * w;
+        }
+        acc
+    }
+
+    fn predict_indexed(&self, state: &[f64], positions: &[usize], _scratch: &mut Vec<f64>) -> f64 {
+        debug_assert_eq!(positions.len(), self.fused_weights.len());
+        // Same operation sequence as `predict` on a gathered buffer, so
+        // the gather-free path is bit-identical to gather-then-predict.
+        let mut acc = self.fused_intercept;
+        for (&p, &w) in positions.iter().zip(&self.fused_weights) {
+            acc += state[p] * w;
+        }
+        acc
+    }
 
     fn num_features(&self) -> usize {
-        self.weights.len()
+        self.fused_weights.len()
     }
 }
 

@@ -1,0 +1,188 @@
+//! Parity tests for the fused ridge hot path.
+//!
+//! At fit time the feature standardization is folded into the parameters
+//! (`w'_j = w_j/σ_j`, `b' = b − Σ μ_j·w'_j`) so prediction is one
+//! multiply-add loop over raw features. These tests pin the relationship
+//! between the fused path and the legacy standardize-then-dot reference
+//! ([`Ridge::predict_standardized`]):
+//!
+//! * **bit-identical** wherever every folded term is exactly zero —
+//!   all-constant features, single-sample fits, zero feature dimension —
+//!   because both formulations then reduce to the bare intercept;
+//! * **tightly agreeing** (≲1e-12 relative) on general random inputs,
+//!   where the two summation orders legitimately round differently;
+//! * **insensitive, bitwise, to constant-feature values** at predict
+//!   time: a zero fused weight annihilates its coordinate exactly;
+//! * **deterministic**: refitting the same data reproduces every
+//!   parameter bit-for-bit;
+//! * `predict_indexed` (the gather-free factor path) bit-identical to
+//!   gather-then-`predict`.
+
+use murphy_learn::{Regressor, Ridge};
+use proptest::prelude::*;
+
+/// y = 2.5·x0 − 1.25·x1 + 4 over a deterministic grid.
+fn linear_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![i as f64 * 0.25, ((i * 11) % 17) as f64])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|r| 2.5 * r[0] - 1.25 * r[1] + 4.0).collect();
+    (xs, ys)
+}
+
+#[test]
+fn all_constant_features_predict_the_intercept_bitwise() {
+    // Every standardized column is exactly zero, so every weight solves
+    // to exactly 0.0 and both formulations collapse to the intercept.
+    let xs: Vec<Vec<f64>> = vec![vec![7.0, -3.5, 0.0]; 25];
+    let ys: Vec<f64> = (0..25).map(|i| 10.0 + (i % 5) as f64).collect();
+    let model = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+
+    assert!(model.fused_weights().iter().all(|&w| w == 0.0), "{:?}", model.fused_weights());
+    for x in [vec![7.0, -3.5, 0.0], vec![1e6, 0.0, -42.0], vec![0.0, 0.0, 0.0]] {
+        let fused = model.predict(&x);
+        let standardized = model.predict_standardized(&x);
+        assert_eq!(fused.to_bits(), standardized.to_bits(), "x = {x:?}");
+        assert_eq!(fused.to_bits(), model.intercept().to_bits(), "x = {x:?}");
+    }
+}
+
+#[test]
+fn single_sample_fit_predicts_its_target_bitwise() {
+    // One sample: every centered column is exactly zero — same collapse.
+    let model = Ridge::fit(&[vec![1.5, -2.0]], &[42.5], Ridge::DEFAULT_LAMBDA).unwrap();
+    for x in [vec![1.5, -2.0], vec![100.0, 100.0], vec![-7.0, 0.25]] {
+        assert_eq!(model.predict(&x).to_bits(), 42.5f64.to_bits(), "x = {x:?}");
+        assert_eq!(
+            model.predict(&x).to_bits(),
+            model.predict_standardized(&x).to_bits(),
+            "x = {x:?}"
+        );
+    }
+}
+
+#[test]
+fn zero_feature_dimension_predicts_the_mean_bitwise() {
+    let xs: Vec<Vec<f64>> = vec![vec![]; 8];
+    let ys: Vec<f64> = (0..8).map(|i| i as f64).collect();
+    let model = Ridge::fit(&xs, &ys, 1.0).unwrap();
+    assert_eq!(model.predict(&[]).to_bits(), model.intercept().to_bits());
+    assert_eq!(
+        model.predict(&[]).to_bits(),
+        model.predict_standardized(&[]).to_bits()
+    );
+}
+
+#[test]
+fn constant_coordinate_value_never_changes_the_fused_prediction() {
+    // Column 1 is constant (weight exactly 0): its value at predict time
+    // must be annihilated exactly, whatever it is.
+    let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 7.0]).collect();
+    let ys: Vec<f64> = xs.iter().map(|r| 1.5 * r[0] + 2.0).collect();
+    let model = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+    assert_eq!(model.fused_weights()[1], 0.0);
+
+    let base = model.predict(&[12.0, 7.0]);
+    for c in [0.0, -7.0, 1e9, f64::MIN_POSITIVE] {
+        assert_eq!(
+            model.predict(&[12.0, c]).to_bits(),
+            base.to_bits(),
+            "constant coordinate {c} leaked into the prediction"
+        );
+    }
+}
+
+#[test]
+fn refitting_reproduces_every_parameter_bitwise() {
+    let (xs, ys) = linear_data(40);
+    let a = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+    let b = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+    assert_eq!(a, b, "fit is not deterministic");
+    for (wa, wb) in a.fused_weights().iter().zip(b.fused_weights()) {
+        assert_eq!(wa.to_bits(), wb.to_bits());
+    }
+    assert_eq!(a.fused_intercept().to_bits(), b.fused_intercept().to_bits());
+    // The fused weights are the standardized weights divided once by the
+    // (floored) stds — a single rounding each, reproducible bitwise.
+    for ((w, s), fw) in a.weights().iter().zip(a.feature_stds()).zip(a.fused_weights()) {
+        assert_eq!((w / s).to_bits(), fw.to_bits());
+    }
+}
+
+#[test]
+fn predict_indexed_is_bit_identical_to_gather_then_predict() {
+    let (xs, ys) = linear_data(40);
+    let model = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+    // A dense state with this model's features scattered at positions
+    // 5 and 2 (out of order, as factor feature maps can be).
+    let state = vec![9.0, -1.0, 13.75, 0.5, 88.0, 3.25, 7.0];
+    let positions = [5usize, 2];
+    let gathered: Vec<f64> = positions.iter().map(|&p| state[p]).collect();
+    let mut scratch = Vec::new();
+    assert_eq!(
+        model.predict_indexed(&state, &positions, &mut scratch).to_bits(),
+        model.predict(&gathered).to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On general data the fused and standardized formulations differ
+    /// only by summation-order rounding: ≲1e-12 relative.
+    #[test]
+    fn fused_tracks_standardized_on_random_inputs(
+        slope in -5.0f64..5.0,
+        offset in -50.0f64..50.0,
+        noise_scale in 0.0f64..0.5,
+        q0 in -100.0f64..100.0,
+        q1 in -100.0f64..100.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64 * 0.5, ((i * 13) % 23) as f64 - 11.0])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                slope * r[0] - 0.75 * r[1] + offset
+                    + noise_scale * ((i as f64) * 1.7).sin()
+            })
+            .collect();
+        let model = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+        let query = [q0, q1];
+        let fused = model.predict(&query);
+        let standardized = model.predict_standardized(&query);
+        let tolerance = 1e-12 * (1.0 + standardized.abs().max(fused.abs()));
+        prop_assert!(
+            (fused - standardized).abs() <= tolerance,
+            "fused {} vs standardized {} (diff {:e})",
+            fused,
+            standardized,
+            (fused - standardized).abs()
+        );
+    }
+
+    /// The gather-free indexed path is bit-identical to gather-then-dot
+    /// for arbitrary scatter positions.
+    #[test]
+    fn predict_indexed_parity_on_random_states(
+        seed in any::<u64>(),
+        scale in 0.5f64..50.0,
+    ) {
+        let state: Vec<f64> = (0..10)
+            .map(|i| ((seed >> (i * 8 % 64)) & 0xff) as f64 * scale / 255.0 - scale / 2.0)
+            .collect();
+        let (xs, ys) = linear_data(30);
+        let model = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+        let p0 = (seed as usize) % state.len();
+        let p1 = (seed as usize / 7) % state.len();
+        let positions = [p0, p1];
+        let gathered: Vec<f64> = positions.iter().map(|&p| state[p]).collect();
+        let mut scratch = Vec::new();
+        prop_assert_eq!(
+            model.predict_indexed(&state, &positions, &mut scratch).to_bits(),
+            model.predict(&gathered).to_bits()
+        );
+    }
+}

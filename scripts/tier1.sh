@@ -2,12 +2,23 @@
 # Tier-1 verification: release build + full test suite + lint gate.
 #
 # Usage: scripts/tier1.sh
-# Honors MURPHY_THREADS for the worker pool (see README "Performance").
+#
+# The test suite runs twice — once sequential (MURPHY_THREADS=1), once
+# over a 4-thread worker pool — because the pool's thread count is fixed
+# per process (sized once from the environment): only separate processes
+# can pin that the global-pool paths behave identically at both settings.
+# In-process thread-count variation is covered by
+# crates/core/tests/determinism.rs via explicit WorkerPool instances.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+
+echo "tier1: test suite with MURPHY_THREADS=1 (sequential pool)"
+MURPHY_THREADS=1 cargo test -q
+
+echo "tier1: test suite with MURPHY_THREADS=4 (parallel pool)"
+MURPHY_THREADS=4 cargo test -q
 
 # Lint gate: warnings are errors. Skipped gracefully where the clippy
 # component isn't installed (minimal toolchains).
