@@ -369,7 +369,11 @@ fn run_perf(scale: Scale) {
 /// compared: `jq '.[].total_ms' BENCH_perf.json`. The `diagnose_batch`
 /// series compares the legacy per-candidate path against memoized
 /// single-symptom loops and one shared-memoization batch call:
-/// `jq '.[-1].diagnose_batch' BENCH_perf.json`.
+/// `jq '.[-1].diagnose_batch' BENCH_perf.json`. The `ingest` series
+/// replays one enterprise trace into databases sharded 1/2/4/8 ways,
+/// timing the per-`record` loop against `record_batch`, and
+/// `train_window_scan` tracks the fanned-out `scan_series` column
+/// extraction at each shard count: `jq '.[-1].ingest' BENCH_perf.json`.
 fn run_bench(scale: Scale, out: &str) {
     let (apps, murphy) = perf_setup(scale);
     let wall = std::time::Instant::now();
@@ -378,6 +382,8 @@ fn run_bench(scale: Scale, out: &str) {
     let train_ms: f64 = points.iter().map(|p| p.train_ms).sum();
     let diagnose_ms: f64 = points.iter().map(|p| p.diagnose_ms).sum();
     let batch_points = perf::run_batch(&apps, murphy);
+    let ingest_apps = apps.last().copied().unwrap_or(1);
+    let ingest_points = perf::run_ingest(&[1, 2, 4, 8], ingest_apps);
     let unix_time_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -403,6 +409,12 @@ fn run_bench(scale: Scale, out: &str) {
             p.plans_built, p.plans_reused,
         );
     }
+    for p in &ingest_points {
+        println!(
+            "bench: ingest @{} shards — {} samples / {} metrics over {} entities: per-record {:.1} ms, per-tick batches {:.1} ms, one bulk batch {:.1} ms, window scan {:.1} ms",
+            p.shards, p.samples, p.metrics, p.entities, p.record_ms, p.batch_ms, p.bulk_ms, p.scan_ms,
+        );
+    }
     println!(
         "bench: pool {} threads, {} batches, {} jobs dispatched",
         pool_stats.threads, pool_stats.batches_run, pool_stats.jobs_dispatched,
@@ -419,6 +431,11 @@ fn run_bench(scale: Scale, out: &str) {
         "total_ms": total_ms,
         "points": points,
         "diagnose_batch": batch_points,
+        "ingest": ingest_points,
+        "train_window_scan": ingest_points
+            .iter()
+            .map(|p| serde_json::json!({"shards": p.shards, "scan_ms": p.scan_ms}))
+            .collect::<Vec<_>>(),
     });
 
     let mut trajectory: Vec<serde_json::Value> = std::fs::read_to_string(out)

@@ -154,6 +154,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     }
     println!("trace: {}", scenario.name);
     println!("entities: {}", scenario.db.entity_count());
+    println!("shards: {}", scenario.db.shard_count());
     println!(
         "graph: {} nodes, {} directed edges",
         scenario.graph.node_count(),

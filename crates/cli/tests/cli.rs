@@ -32,6 +32,7 @@ fn emulate_info_diagnose_round_trip() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("entities:"), "{text}");
+    assert!(text.contains("shards:"), "{text}");
     assert!(text.contains("symptom:"), "{text}");
     assert!(text.contains("ground truth:"), "{text}");
 

@@ -116,26 +116,24 @@ pub fn train_mrf_blended(
     let index = metric_index_for(db, graph);
     let ticks = blend.ticks();
 
-    let columns: Vec<Vec<f64>> = index
-        .ids()
-        .iter()
-        .map(|&m| {
-            // Mean imputation over the union of both windows.
-            let finite: Vec<f64> = ticks
-                .iter()
-                .filter_map(|&t| db.series(m).and_then(|s| s.at(t)))
-                .collect();
-            let fill = if finite.len() >= 8 {
-                finite.iter().sum::<f64>() / finite.len() as f64
-            } else {
-                m.kind.default_value()
-            };
-            ticks
-                .iter()
-                .map(|&t| db.series(m).and_then(|s| s.at(t)).unwrap_or(fill))
-                .collect()
-        })
-        .collect();
+    // One sharded scan job per metric (results return in index order, so
+    // the model is bit-identical to a sequential extraction).
+    let columns: Vec<Vec<f64>> = db.scan_series(index.ids().to_vec(), move |m, series| {
+        // Mean imputation over the union of both windows.
+        let finite: Vec<f64> = ticks
+            .iter()
+            .filter_map(|&t| series.and_then(|s| s.at(t)))
+            .collect();
+        let fill = if finite.len() >= 8 {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        } else {
+            m.kind.default_value()
+        };
+        ticks
+            .iter()
+            .map(|&t| series.and_then(|s| s.at(t)).unwrap_or(fill))
+            .collect()
+    });
     let offline_len = blend.offline.len();
     let reference: Vec<Summary> = columns
         .iter()
@@ -177,17 +175,15 @@ pub fn train_mrf(
 ) -> Arc<MrfModel> {
     let index = metric_index_for(db, graph);
 
-    // Extract training columns once per metric.
-    let columns: Vec<Vec<f64>> = index
-        .ids()
-        .iter()
-        .map(|&m| match db.series(m) {
-            Some(s) => {
-                s.window_mean_imputed(window.from, window.to, m.kind.default_value(), 8)
-            }
+    // Extract training columns once per metric, fanned out over the
+    // database's shards (results return in index order, so the model is
+    // bit-identical to a sequential extraction).
+    let columns: Vec<Vec<f64>> = db.scan_series(index.ids().to_vec(), move |m, series| {
+        match series {
+            Some(s) => s.window_mean_imputed(window.from, window.to, m.kind.default_value(), 8),
             None => vec![m.kind.default_value(); window.len()],
-        })
-        .collect();
+        }
+    });
     // Reference = the older half of the window: an ongoing incident at the
     // window's tail must not inflate the anomaly-scoring baseline.
     let reference: Vec<Summary> = columns

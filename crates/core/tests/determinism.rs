@@ -14,24 +14,35 @@
 //! result lands, and per-candidate seeds are pure functions of stable
 //! entity ids — these tests are the tripwire for anything that breaks
 //! either half of that argument.
+//!
+//! The same contract extends to the telemetry store's shard count: the
+//! sharded database (`MURPHY_SHARDS`, `MonitoringDb::with_shards`) is a
+//! storage layout, so end-to-end diagnosis must be bit-identical at 1,
+//! 2, 4, and 8 shards — including when the trace was ingested through
+//! the bulk `record_batch` path and trained through the fanned-out
+//! column scans.
 
 use murphy_core::config::MurphyConfig;
 use murphy_core::diagnose::{diagnose_batch_on, diagnose_symptom_on};
 use murphy_core::training::{train_mrf, TrainingWindow};
 use murphy_core::{DiagnosisReport, Symptom, WorkerPool};
 use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph};
-use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use murphy_telemetry::{
+    AssociationKind, EntityId, EntityKind, MetricKind, MetricSample, MonitoringDb,
+};
 use proptest::prelude::*;
 
-/// A randomized star or chain around a victim entity, with one hot
-/// driver at the far end and mildly wiggling intermediates.
-fn topology_env(
+/// Populate a randomized star or chain around a victim entity, with one
+/// hot driver at the far end and mildly wiggling intermediates. Metrics
+/// go in through the bulk `record_batch` path (one batch per tick), so
+/// every test in this file also exercises sharded ingestion end to end.
+fn populate_topology(
+    db: &mut MonitoringDb,
     n: usize,
     star: bool,
     amp: f64,
     phase: f64,
-) -> (MonitoringDb, RelationshipGraph, EntityId, Vec<EntityId>) {
-    let mut db = MonitoringDb::new(10);
+) -> (RelationshipGraph, EntityId, Vec<EntityId>) {
     let entities: Vec<EntityId> = (0..n)
         .map(|i| db.add_entity(EntityKind::Vm, format!("e{i}")))
         .collect();
@@ -46,6 +57,7 @@ fn topology_env(
         }
     }
     let driver_idx = n - 1;
+    let mut samples: Vec<MetricSample> = Vec::new();
     for t in 0..200u64 {
         let spike = if t >= 180 { 50.0 } else { 0.0 };
         let drv = 15.0 + amp * ((t as f64) * 0.3 + phase).sin() + spike;
@@ -60,10 +72,38 @@ fn topology_env(
             } else {
                 10.0 + 0.6 * spike + amp * ((t as f64) * (0.2 + 0.1 * i as f64) + phase).cos()
             };
-            db.record(e, MetricKind::CpuUtil, t, v);
+            samples.push(MetricSample::new(e, MetricKind::CpuUtil, t, v));
         }
+        db.record_batch(&samples);
+        samples.clear();
     }
-    let graph = build_from_seeds(&db, &[victim], BuildOptions::default());
+    let graph = build_from_seeds(db, &[victim], BuildOptions::default());
+    (graph, victim, entities)
+}
+
+/// Environment on a database whose shard count comes from the ambient
+/// `MURPHY_SHARDS` (so the tier-1 matrix varies it process-wide).
+fn topology_env(
+    n: usize,
+    star: bool,
+    amp: f64,
+    phase: f64,
+) -> (MonitoringDb, RelationshipGraph, EntityId, Vec<EntityId>) {
+    let mut db = MonitoringDb::new(10);
+    let (graph, victim, entities) = populate_topology(&mut db, n, star, amp, phase);
+    (db, graph, victim, entities)
+}
+
+/// Environment on a database with an explicit shard count.
+fn topology_env_sharded(
+    n: usize,
+    star: bool,
+    amp: f64,
+    phase: f64,
+    shards: usize,
+) -> (MonitoringDb, RelationshipGraph, EntityId, Vec<EntityId>) {
+    let mut db = MonitoringDb::with_shards(10, shards);
+    let (graph, victim, entities) = populate_topology(&mut db, n, star, amp, phase);
     (db, graph, victim, entities)
 }
 
@@ -170,6 +210,76 @@ proptest! {
                     b,
                     &format!("threads={threads}, symptom #{i}"),
                 );
+            }
+        }
+    }
+
+    /// The same topology ingested into 1/2/4/8-shard databases (through
+    /// `record_batch`), trained and diagnosed afresh on each: every
+    /// report must be bit-identical to the unsharded reference —
+    /// crossed with pool sizes, since shard fan-out and candidate
+    /// fan-out share the worker pool.
+    #[test]
+    fn diagnosis_is_bit_identical_across_shard_counts(
+        n in 3usize..6,
+        star in any::<bool>(),
+        amp in 0.5f64..8.0,
+        phase in 0.0f64..3.0,
+    ) {
+        let config = fast_config();
+        let mut reference: Option<DiagnosisReport> = None;
+        for shards in [1usize, 2, 4, 8] {
+            let (db, graph, victim, _) = topology_env_sharded(n, star, amp, phase, shards);
+            prop_assert_eq!(db.shard_count(), shards);
+            let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+            let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+            for threads in [1usize, 4] {
+                let report = diagnose_symptom_on(
+                    &db, &mrf, &graph, &symptom, &config, &WorkerPool::new(threads),
+                );
+                match &reference {
+                    None => reference = Some(report),
+                    Some(r) => assert_reports_bit_identical(
+                        r,
+                        &report,
+                        &format!("shards={shards}, threads={threads}, n={n}, star={star}"),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Batch diagnosis on sharded vs unsharded databases.
+    #[test]
+    fn batch_is_bit_identical_across_shard_counts(
+        n in 3usize..6,
+        star in any::<bool>(),
+        amp in 0.5f64..8.0,
+    ) {
+        let config = fast_config();
+        let mut reference: Option<Vec<DiagnosisReport>> = None;
+        for shards in [1usize, 2, 4, 8] {
+            let (db, graph, victim, entities) = topology_env_sharded(n, star, amp, 0.4, shards);
+            let mrf = train_mrf(&db, &graph, &config, TrainingWindow::online(&db, 160), db.latest_tick());
+            let symptoms: Vec<Symptom> = entities
+                .iter()
+                .map(|&e| Symptom::high(e, MetricKind::CpuUtil))
+                .chain([Symptom::high(victim, MetricKind::CpuUtil)])
+                .collect();
+            let reports =
+                diagnose_batch_on(&db, &mrf, &graph, &symptoms, &config, &WorkerPool::new(4));
+            match &reference {
+                None => reference = Some(reports),
+                Some(r) => {
+                    prop_assert_eq!(reports.len(), r.len());
+                    for (i, (a, b)) in r.iter().zip(&reports).enumerate() {
+                        assert_reports_bit_identical(
+                            a,
+                            b,
+                            &format!("shards={shards}, symptom #{i}"),
+                        );
+                    }
+                }
             }
         }
     }

@@ -14,7 +14,7 @@ use murphy_core::training::{train_mrf, TrainingWindow};
 use murphy_core::{evaluate_candidate, MurphyConfig, Symptom};
 use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
 use murphy_sim::enterprise::{generate, EnterpriseConfig};
-use murphy_telemetry::MetricKind;
+use murphy_telemetry::{MetricKind, MetricSample, MonitoringDb};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -196,6 +196,142 @@ pub fn run_batch(app_counts: &[usize], murphy: MurphyConfig) -> Vec<BatchPerfPoi
         .collect()
 }
 
+/// Wall-clock comparison of telemetry ingestion and training-window
+/// scans at a given shard count: the legacy per-`record` loop versus the
+/// sharded `record_batch` bulk path, plus the fanned-out
+/// `scan_series` column extraction that online training uses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestPerfPoint {
+    /// Shard count of the measured database.
+    pub shards: usize,
+    /// Entities in the generated estate.
+    pub entities: usize,
+    /// Total metric samples ingested.
+    pub samples: usize,
+    /// Distinct metric series.
+    pub metrics: usize,
+    /// Per-`record` ingestion loop, ms (one map probe per sample).
+    pub record_ms: f64,
+    /// Per-tick `record_batch` replay, ms (one pool fan-out per tick,
+    /// samples grouped by metric within a shard).
+    pub batch_ms: f64,
+    /// One-shot `record_batch` of the whole trace, ms — the bootstrap
+    /// shape, where metric-grouped runs amortize the series-map probes
+    /// (one probe per metric instead of one per sample).
+    pub bulk_ms: f64,
+    /// `scan_series` training-window column extraction over every
+    /// metric, ms.
+    pub scan_ms: f64,
+}
+
+/// Rebuild `src`'s entities and associations (no series) on a fresh
+/// database with the given shard count, preserving ids.
+fn skeleton_of(src: &MonitoringDb, shards: usize) -> MonitoringDb {
+    let mut db = MonitoringDb::with_shards(src.interval_secs, shards);
+    for e in src.entities() {
+        let id = db.add_entity(e.kind, e.name.clone());
+        debug_assert_eq!(id, e.id, "skeleton ids must align with the source");
+    }
+    for &a in src.associations() {
+        db.add_association(a);
+    }
+    db
+}
+
+/// Measure ingestion and scan cost across shard counts.
+///
+/// One enterprise trace is generated, flattened into per-tick sample
+/// batches (the shape a monitoring platform delivers), and replayed into
+/// fresh databases at each requested shard count — once through the
+/// per-`record` loop and once through `record_batch`. The scan timing
+/// then extracts a 60-tick training window for every metric on the
+/// batch-ingested database.
+pub fn run_ingest(shard_counts: &[usize], apps: usize) -> Vec<IngestPerfPoint> {
+    let config = EnterpriseConfig {
+        num_apps: apps,
+        ..EnterpriseConfig::small(17)
+    };
+    let enterprise = generate(&config);
+    let src = &enterprise.db;
+    let ticks = src.latest_tick() + 1;
+    let metrics = src.all_metrics();
+
+    // Flatten the trace twice: tick-major (one delivery batch per tick,
+    // the streaming shape) and metric-major (one contiguous run per
+    // series, the bootstrap-load shape).
+    let mut per_tick: Vec<Vec<MetricSample>> = vec![Vec::new(); ticks as usize];
+    let mut bulk: Vec<MetricSample> = Vec::new();
+    for &m in &metrics {
+        if let Some(s) = src.series(m) {
+            for t in 0..ticks {
+                if let Some(v) = s.at(t) {
+                    let sample = MetricSample::new(m.entity, m.kind, t, v);
+                    per_tick[t as usize].push(sample);
+                    bulk.push(sample);
+                }
+            }
+        }
+    }
+    let total = bulk.len();
+
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            // (a) Legacy: one `record` call (and one series-map probe)
+            // per sample.
+            let mut loop_db = skeleton_of(src, shards);
+            let t0 = Instant::now();
+            for batch in &per_tick {
+                for s in batch {
+                    loop_db.record(s.entity, s.kind, s.tick, s.value);
+                }
+            }
+            let record_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // (b) Bulk: per-tick `record_batch` — partitioned by shard,
+            // grouped by metric, one pool job per shard.
+            let mut batch_db = skeleton_of(src, shards);
+            let t1 = Instant::now();
+            for batch in &per_tick {
+                batch_db.record_batch(batch);
+            }
+            let batch_ms = t1.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(batch_db.latest_tick(), loop_db.latest_tick());
+
+            // (c) Bootstrap: the entire trace as one metric-grouped
+            // batch, where run detection amortizes the series-map
+            // probes to one per metric.
+            let mut bulk_db = skeleton_of(src, shards);
+            let tb = Instant::now();
+            bulk_db.record_batch(&bulk);
+            let bulk_ms = tb.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(bulk_db.latest_tick(), loop_db.latest_tick());
+
+            // (d) Training-window column scan over every metric.
+            let from = ticks.saturating_sub(60);
+            let ids = metrics.clone();
+            let t2 = Instant::now();
+            let cols = batch_db.scan_series(ids, move |m, series| match series {
+                Some(s) => s.window_mean_imputed(from, ticks, m.kind.default_value(), 8),
+                None => Vec::new(),
+            });
+            let scan_ms = t2.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(cols.len(), metrics.len());
+
+            IngestPerfPoint {
+                shards: batch_db.shard_count(),
+                entities: src.entity_count(),
+                samples: total,
+                metrics: metrics.len(),
+                record_ms,
+                batch_ms,
+                bulk_ms,
+                scan_ms,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +360,25 @@ mod tests {
         // Both symptoms share one entity, so the second one's candidates
         // are fully prepared already: the cache must see some traffic.
         assert!(p.plans_built > 0, "batch built no plans: {p:?}");
+    }
+
+    #[test]
+    fn ingest_points_measure_all_three_paths() {
+        let points = run_ingest(&[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].shards, 1);
+        assert_eq!(points[1].shards, 2);
+        for p in &points {
+            assert!(p.entities > 0);
+            assert!(p.samples > 0);
+            assert!(p.metrics > 0);
+            assert!(p.record_ms > 0.0);
+            assert!(p.batch_ms > 0.0);
+            assert!(p.bulk_ms > 0.0);
+            assert!(p.scan_ms > 0.0);
+        }
+        // Same trace replayed at every shard count.
+        assert_eq!(points[0].samples, points[1].samples);
+        assert_eq!(points[0].metrics, points[1].metrics);
     }
 }

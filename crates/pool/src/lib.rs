@@ -1,0 +1,471 @@
+//! A persistent shared worker pool for Murphy's embarrassingly parallel
+//! stages.
+//!
+//! Four hot phases of the pipeline fan out over independent work items:
+//! sharded telemetry ingestion (one bulk write per shard), online MRF
+//! training (one factor fit per entity metric, plus one training-window
+//! column scan per metric), per-symptom subgraph derivation, and
+//! candidate evaluation (one counterfactual test per candidate). All run
+//! through the same [`WorkerPool`], which centralizes
+//!
+//! * **sizing** — `MURPHY_THREADS` overrides the thread count (useful for
+//!   benchmarking scaling curves and for pinning CI), defaulting to the
+//!   machine's available parallelism;
+//! * **scheduling** — workers pull indices from a per-batch atomic
+//!   counter, so an expensive item (a far candidate with a large subgraph)
+//!   does not stall a statically assigned partner;
+//! * **amortization** — worker threads are spawned **once**, when the pool
+//!   is created, and parked on a condition variable between batches. A
+//!   many-symptom workload (`diagnose_batch`, ablation sweeps, `repro
+//!   bench`) issues hundreds of batches; none of them pays thread-spawn
+//!   cost.
+//!
+//! The workspace is `#![forbid(unsafe_code)]`, so jobs crossing the
+//! persistent-thread boundary must be `'static`: callers capture their
+//! shared inputs in `Arc`s (`Arc<MrfModel>`, `Arc<RelationshipGraph>`,
+//! …) instead of borrowing them. The submitting thread does not idle
+//! while a batch runs — it steals indices from its own batch like any
+//! worker, which also means a pool sized at `n` threads spawns only
+//! `n − 1` OS threads.
+//!
+//! Determinism: work stealing only decides *who computes* an index, never
+//! where its result lands — each job writes slot `i` of the result
+//! vector. Combined with per-item seeds that are pure functions of stable
+//! ids, every batch is bit-identical across thread counts and
+//! interleavings (pinned by `crates/core/tests/determinism.rs`).
+//!
+//! A panic inside a job is caught (`catch_unwind`), recorded, and
+//! re-raised on the submitting thread after the batch drains — the pool's
+//! threads survive and the queue keeps serving later batches. Dropping
+//! the pool signals shutdown and joins every worker.
+//!
+//! This crate sits below `murphy-telemetry` in the workspace so the
+//! sharded monitoring database and the diagnosis engine share one
+//! process-wide pool; `murphy_core::pool` re-exports everything here, so
+//! existing `murphy_core::pool::global()` call sites are unaffected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One submitted batch: a type-erased job body plus the bookkeeping that
+/// lets any mix of workers (and the submitter) drain it.
+struct Batch {
+    /// Number of indexed jobs in the batch.
+    n_jobs: usize,
+    /// Next index to claim. May overshoot `n_jobs` by one per thread.
+    next: AtomicUsize,
+    /// Jobs not yet finished; the thread that takes this to zero flags
+    /// completion.
+    remaining: AtomicUsize,
+    /// The job body. Writes its result into a caller-owned slot, so the
+    /// pool never sees result types.
+    job: Box<dyn Fn(usize) + Send + Sync>,
+    /// Completion flag + condvar the submitter waits on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload raised by a job, re-thrown by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Batch {
+    /// Steal and run indices until the batch is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_jobs {
+                break;
+            }
+            // A panicking job must not wedge the batch: record the payload,
+            // count the job as finished, and let the submitter re-raise.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.job)(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// True once every index has been claimed (some may still be running).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n_jobs
+    }
+
+    /// Block until every claimed index has finished.
+    fn wait_done(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Queue state shared between the pool handle and its workers.
+struct PoolState {
+    queue: VecDeque<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signaled when a batch is pushed or shutdown is requested.
+    available: Condvar,
+}
+
+impl Shared {
+    /// Next batch with unclaimed work, or `None` on shutdown.
+    fn next_batch(&self) -> Option<Arc<Batch>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            // Exhausted front batches are finished by whoever claimed their
+            // last indices; the queue can forget them.
+            while state.queue.front().is_some_and(|b| b.exhausted()) {
+                state.queue.pop_front();
+            }
+            if let Some(batch) = state.queue.front() {
+                return Some(Arc::clone(batch));
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+}
+
+/// Cumulative dispatch counters (monotonic over the pool's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Configured thread count (including the submitting thread).
+    pub threads: usize,
+    /// Worker threads currently alive (0 for single-threaded pools,
+    /// `threads − 1` while running, 0 again after shutdown joins).
+    pub live_workers: usize,
+    /// Batches submitted through [`WorkerPool::run_indexed`].
+    pub batches_run: u64,
+    /// Total indexed jobs across those batches.
+    pub jobs_dispatched: u64,
+}
+
+/// A sized pool of persistent worker threads for batches of independent
+/// indexed jobs.
+pub struct WorkerPool {
+    threads: usize,
+    /// `None` for single-threaded pools: every batch runs inline.
+    shared: Option<Arc<Shared>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Live worker-thread count; drops to zero after shutdown joins.
+    live_workers: Arc<AtomicUsize>,
+    batches_run: AtomicU64,
+    jobs_dispatched: AtomicU64,
+}
+
+impl WorkerPool {
+    /// A pool with an explicit thread count (floored at 1). Spawns
+    /// `threads − 1` worker threads; the submitting thread is the last
+    /// worker of its own batches.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let live_workers = Arc::new(AtomicUsize::new(0));
+        if threads == 1 {
+            return Self {
+                threads,
+                shared: None,
+                handles: Vec::new(),
+                live_workers,
+                batches_run: AtomicU64::new(0),
+                jobs_dispatched: AtomicU64::new(0),
+            };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let live = Arc::clone(&live_workers);
+                live.fetch_add(1, Ordering::AcqRel);
+                std::thread::spawn(move || {
+                    while let Some(batch) = shared.next_batch() {
+                        batch.work();
+                    }
+                    live.fetch_sub(1, Ordering::AcqRel);
+                })
+            })
+            .collect();
+        Self {
+            threads,
+            shared: Some(shared),
+            handles,
+            live_workers,
+            batches_run: AtomicU64::new(0),
+            jobs_dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool sized from the environment: `MURPHY_THREADS` when set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MURPHY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(4);
+        Self::new(threads)
+    }
+
+    /// Configured thread count (including the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cumulative dispatch counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            live_workers: self.live_workers.load(Ordering::Acquire),
+            batches_run: self.batches_run.load(Ordering::Relaxed),
+            jobs_dispatched: self.jobs_dispatched.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run `f(0..n_jobs)` across the pool and return the results in index
+    /// order.
+    ///
+    /// Work is pulled from a per-batch atomic counter (dynamic load
+    /// balance) and each result is written to its own slot, so the output
+    /// order — and therefore every downstream ranking — is independent of
+    /// thread interleaving. With one thread or one job the batch runs
+    /// inline on the caller's thread. The job must be `'static`: capture
+    /// shared inputs in `Arc`s.
+    ///
+    /// If a job panics, the panic is re-raised here after the rest of the
+    /// batch drains; the pool remains usable. Submitting a batch from
+    /// inside a job cannot deadlock (the inner submitter drains its own
+    /// batch), but serializes — keep fan-out at one level.
+    pub fn run_indexed<T, F>(&self, n_jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if n_jobs == 0 {
+            return Vec::new();
+        }
+        self.batches_run.fetch_add(1, Ordering::Relaxed);
+        self.jobs_dispatched.fetch_add(n_jobs as u64, Ordering::Relaxed);
+        let Some(shared) = self.shared.as_ref().filter(|_| n_jobs > 1) else {
+            return (0..n_jobs).map(f).collect();
+        };
+
+        let results: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n_jobs).map(|_| None).collect()));
+        let job = {
+            let results = Arc::clone(&results);
+            Box::new(move |i: usize| {
+                let value = f(i);
+                results.lock().unwrap()[i] = Some(value);
+            })
+        };
+        let batch = Arc::new(Batch {
+            n_jobs,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n_jobs),
+            job,
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut state = shared.state.lock().unwrap();
+            state.queue.push_back(Arc::clone(&batch));
+        }
+        shared.available.notify_all();
+
+        // The submitter is a worker of its own batch, then waits for
+        // stragglers claimed by pool threads.
+        batch.work();
+        batch.wait_done();
+        if let Some(payload) = batch.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        let mut slots = results.lock().unwrap();
+        slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("every job completed"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.take() else {
+            return;
+        };
+        shared.state.lock().unwrap().shutdown = true;
+        shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("batches_run", &stats.batches_run)
+            .field("jobs_dispatched", &stats.jobs_dispatched)
+            .finish()
+    }
+}
+
+/// The process-wide pool, sized once (from `MURPHY_THREADS` or the
+/// machine) on first use and shared by training and diagnosis. Its
+/// workers live for the rest of the process; every later batch reuses
+/// them.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<usize> = pool.run_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.shared.is_none(), "no workers for a 1-thread pool");
+        let out = pool.run_indexed(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn thread_count_floors_at_one() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = WorkerPool::new(1).run_indexed(257, |i| (i as f64).sqrt());
+        let par = WorkerPool::new(8).run_indexed(257, |i| (i as f64).sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        let a = global().threads();
+        let b = global().threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.live_workers.load(Ordering::Acquire), 3);
+        for round in 0..50u64 {
+            let out = pool.run_indexed(16, move |i| round * 100 + i as u64);
+            assert_eq!(out.len(), 16);
+            assert_eq!(out[3], round * 100 + 3);
+        }
+        // Same three threads served every batch — no spawn per batch.
+        assert_eq!(pool.live_workers.load(Ordering::Acquire), 3);
+        let stats = pool.stats();
+        assert_eq!(stats.batches_run, 50);
+        assert_eq!(stats.jobs_dispatched, 50 * 16);
+    }
+
+    #[test]
+    fn shutdown_on_drop_joins_all_threads() {
+        let pool = WorkerPool::new(8);
+        let live = Arc::clone(&pool.live_workers);
+        assert_eq!(live.load(Ordering::Acquire), 7);
+        let out = pool.run_indexed(64, |i| i);
+        assert_eq!(out.len(), 64);
+        drop(pool);
+        // Drop joins, so by here every worker has run its exit path.
+        assert_eq!(live.load(Ordering::Acquire), 0, "worker thread leaked");
+    }
+
+    #[test]
+    fn jobs_vastly_exceeding_threads_complete() {
+        let pool = WorkerPool::new(2);
+        let out = pool.run_indexed(10_000, |i| i as u64 * 7);
+        assert_eq!(out.len(), 10_000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 7));
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(8, |i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate to the submitter");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job 3 exploded");
+        // The pool's threads survived the panic and keep serving batches.
+        let out = pool.run_indexed(8, |i| i + 1);
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        assert_eq!(pool.live_workers.load(Ordering::Acquire), 3);
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new(4));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for round in 0..10 {
+                        let out = pool.run_indexed(33, move |i| (t, round, i));
+                        assert_eq!(out.len(), 33);
+                        assert!(out.iter().enumerate().all(|(i, &(tt, r, ii))| {
+                            tt == t && r == round && ii == i
+                        }));
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.stats().batches_run, 40);
+    }
+}

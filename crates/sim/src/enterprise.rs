@@ -13,7 +13,9 @@
 //! follow the app load; switch metrics aggregate their ports.
 
 use murphy_learn::model::gaussian;
-use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricKind, MonitoringDb};
+use murphy_telemetry::{
+    AssociationKind, EntityId, EntityKind, MetricKind, MetricSample, MonitoringDb,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -194,10 +196,19 @@ pub fn generate(config: &EnterpriseConfig) -> Enterprise {
     }
     let day_ticks = (86_400 / config.interval_secs.max(1)) as f64;
 
+    // Per-tick sample buffer, flushed through the sharded bulk-ingest path
+    // (one pool job per shard) instead of one map probe per `record` call.
+    // Flushing each tick keeps the buffer small even at paper scale.
+    let mut samples: Vec<MetricSample> = Vec::new();
     for t in 0..config.ticks {
         let mut host_cpu = vec![0.0f64; config.num_hosts];
         let mut host_net = vec![0.0f64; config.num_hosts];
         let mut host_vm_count = vec![0usize; config.num_hosts];
+        // Running index into `vm_host`, which was pushed in exactly the
+        // app/tier/vm order iterated below — so accumulating host
+        // aggregates inline here visits hosts in the same order (and thus
+        // produces bit-identical f64 sums) as the former read-back loop.
+        let mut vi = 0usize;
 
         for (a, app) in apps.iter().enumerate() {
             let diurnal = ((t as f64) * 2.0 * std::f64::consts::PI / day_ticks + app_phase[a]).sin();
@@ -215,51 +226,54 @@ pub fn generate(config: &EnterpriseConfig) -> Enterprise {
                         .clamp(0.0, 100.0);
                     let mem = (25.0 + load * 0.3 + gaussian(&mut rng) * 2.0).clamp(0.0, 100.0);
                     let tx = (load * 1.5 + gaussian(&mut rng) * 3.0).max(0.0);
-                    db.record(vm, MetricKind::CpuUtil, t, cpu);
-                    db.record(vm, MetricKind::MemUtil, t, mem);
-                    db.record(vm, MetricKind::NetTx, t, tx);
-                    db.record(vm, MetricKind::NetRx, t, (tx * 0.8).max(0.0));
-                    db.record(vm, MetricKind::DropRate, t, 0.0);
+                    samples.push(MetricSample::new(vm, MetricKind::CpuUtil, t, cpu));
+                    samples.push(MetricSample::new(vm, MetricKind::MemUtil, t, mem));
+                    samples.push(MetricSample::new(vm, MetricKind::NetTx, t, tx));
+                    samples.push(MetricSample::new(vm, MetricKind::NetRx, t, (tx * 0.8).max(0.0)));
+                    samples.push(MetricSample::new(vm, MetricKind::DropRate, t, 0.0));
                     // vNIC mirrors the VM's traffic (vNIC id = vm id + 1 by
                     // construction).
                     let vnic = EntityId(vm.0 + 1);
-                    db.record(vnic, MetricKind::NetTx, t, tx);
-                    db.record(vnic, MetricKind::NetRx, t, (tx * 0.8).max(0.0));
-                    db.record(vnic, MetricKind::DropRate, t, 0.0);
+                    samples.push(MetricSample::new(vnic, MetricKind::NetTx, t, tx));
+                    samples.push(MetricSample::new(vnic, MetricKind::NetRx, t, (tx * 0.8).max(0.0)));
+                    samples.push(MetricSample::new(vnic, MetricKind::DropRate, t, 0.0));
+                    // Host aggregation (shared-resource coupling), from the
+                    // values just synthesized — no read-back needed.
+                    let (vm_again, h) = vm_host[vi];
+                    debug_assert_eq!(vm_again, vm, "vm_host order drifted");
+                    vi += 1;
+                    host_cpu[h] += cpu;
+                    host_net[h] += tx;
+                    host_vm_count[h] += 1;
                 }
             }
             for &flow in &app.flows {
-                db.record(flow, MetricKind::Throughput, t, (load * 2.0 + gaussian(&mut rng) * 4.0).max(0.0));
-                db.record(flow, MetricKind::SessionCount, t, (load * 0.4 + gaussian(&mut rng)).max(0.0));
-                db.record(flow, MetricKind::Rtt, t, (2.0 + load * 0.01 + gaussian(&mut rng) * 0.2).max(0.1));
-                db.record(flow, MetricKind::RetransmitRatio, t, 0.0);
+                samples.push(MetricSample::new(flow, MetricKind::Throughput, t, (load * 2.0 + gaussian(&mut rng) * 4.0).max(0.0)));
+                samples.push(MetricSample::new(flow, MetricKind::SessionCount, t, (load * 0.4 + gaussian(&mut rng)).max(0.0)));
+                samples.push(MetricSample::new(flow, MetricKind::Rtt, t, (2.0 + load * 0.01 + gaussian(&mut rng) * 0.2).max(0.1)));
+                samples.push(MetricSample::new(flow, MetricKind::RetransmitRatio, t, 0.0));
             }
         }
 
-        // Hosts aggregate their resident VMs (shared-resource coupling).
-        for &(vm, h) in &vm_host {
-            let cpu = db.value_at(murphy_telemetry::MetricId::new(vm, MetricKind::CpuUtil), t);
-            let tx = db.value_at(murphy_telemetry::MetricId::new(vm, MetricKind::NetTx), t);
-            host_cpu[h] += cpu;
-            host_net[h] += tx;
-            host_vm_count[h] += 1;
-        }
         for h in 0..config.num_hosts {
             let denom = host_vm_count[h].max(1) as f64;
-            db.record(hosts[h], MetricKind::CpuUtil, t, (host_cpu[h] / denom).clamp(0.0, 100.0));
-            db.record(hosts[h], MetricKind::NetTx, t, host_net[h].max(0.0));
-            db.record(host_ports[h], MetricKind::NetTx, t, host_net[h].max(0.0));
-            db.record(host_ports[h], MetricKind::DropRate, t, 0.0);
-            db.record(host_ports[h], MetricKind::BufferUtil, t, (host_net[h] * 0.02).clamp(0.0, 100.0));
+            samples.push(MetricSample::new(hosts[h], MetricKind::CpuUtil, t, (host_cpu[h] / denom).clamp(0.0, 100.0)));
+            samples.push(MetricSample::new(hosts[h], MetricKind::NetTx, t, host_net[h].max(0.0)));
+            samples.push(MetricSample::new(host_ports[h], MetricKind::NetTx, t, host_net[h].max(0.0)));
+            samples.push(MetricSample::new(host_ports[h], MetricKind::DropRate, t, 0.0));
+            samples.push(MetricSample::new(host_ports[h], MetricKind::BufferUtil, t, (host_net[h] * 0.02).clamp(0.0, 100.0)));
         }
         for (si, &sw) in switches.iter().enumerate() {
             let total: f64 = (0..config.num_hosts)
                 .filter(|h| h % config.num_switches == si)
                 .map(|h| host_net[h])
                 .sum();
-            db.record(sw, MetricKind::NetTx, t, total.max(0.0));
-            db.record(sw, MetricKind::DropRate, t, 0.0);
+            samples.push(MetricSample::new(sw, MetricKind::NetTx, t, total.max(0.0)));
+            samples.push(MetricSample::new(sw, MetricKind::DropRate, t, 0.0));
         }
+
+        db.record_batch(&samples);
+        samples.clear();
     }
 
     Enterprise {

@@ -5,58 +5,78 @@
 //! per-metric time series, and application membership tags ("all VMs of
 //! application foo"). Murphy, the baselines, and the experiment harness
 //! interact with the environment *only* through this API.
+//!
+//! Internally the database is **sharded** (see [`crate::shard`]): entities
+//! and their metric series are partitioned across `EntityId mod N` shards
+//! so bulk ingestion ([`MonitoringDb::record_batch`]) and training-window
+//! column scans ([`MonitoringDb::scan_series`]) fan out over the shared
+//! worker pool. Cross-entity state — associations, the adjacency index,
+//! application tags, the configuration-change log — stays global here in
+//! the facade. The shard count is a pure layout choice: every query
+//! answers identically at 1 and N shards (pinned by
+//! `tests/shard_parity.rs`).
 
 use crate::association::{Association, AssociationKind};
 use crate::changes::{ChangeKind, ChangeLog, ConfigChange};
 use crate::entity::{Entity, EntityId, EntityKind};
 use crate::metric::{MetricId, MetricKind};
+use crate::shard::{map_as_pairs, shard_count_from_env, MetricSample, Shard};
 use crate::timeseries::TimeSeries;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
-/// Serialize ordered maps with non-string keys as pair sequences, so the
-/// database round-trips through JSON (whose object keys must be strings).
-mod map_as_pairs {
+/// Serialize the shard vector as a plain sequence of shards; on
+/// deserialize, re-wrap in `Arc` and guarantee at least one shard so
+/// `shard_of` never divides by zero (old snapshots and hand-written JSON
+/// may omit the field or store an empty vector).
+mod arc_shards {
+    use super::Shard;
     use serde::de::{Deserialize, Deserializer};
-    use serde::ser::{Serialize, Serializer};
-    use std::collections::BTreeMap;
+    use serde::ser::Serializer;
+    use std::sync::Arc;
 
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    pub fn serialize<S>(shards: &[Arc<Shard>], serializer: S) -> Result<S::Ok, S::Error>
     where
-        K: Serialize,
-        V: Serialize,
         S: Serializer,
     {
-        serializer.collect_seq(map.iter())
+        serializer.collect_seq(shards.iter().map(|s| s.as_ref()))
     }
 
-    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn deserialize<'de, D>(deserializer: D) -> Result<Vec<Arc<Shard>>, D::Error>
     where
-        K: Deserialize<'de> + Ord,
-        V: Deserialize<'de>,
         D: Deserializer<'de>,
     {
-        let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
-        Ok(pairs.into_iter().collect())
+        let plain: Vec<Shard> = Vec::deserialize(deserializer)?;
+        let mut shards: Vec<Arc<Shard>> = plain.into_iter().map(Arc::new).collect();
+        if shards.is_empty() {
+            shards.push(Arc::new(Shard::default()));
+        }
+        Ok(shards)
     }
 }
 
 /// In-memory monitoring database.
 ///
-/// Entity ids are dense (`0..entity_count`), which downstream graph code
-/// exploits for vector indexing; removed entities leave tombstones so ids
-/// stay stable under the Table 2 "missing entity" degradation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Entity ids are dense (`0..next id`), which downstream graph code
+/// exploits for vector indexing; removed entities simply vanish from
+/// their shard while ids of the survivors stay stable under the Table 2
+/// "missing entity" degradation (ids are never reused).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MonitoringDb {
-    entities: Vec<Option<Entity>>,
+    /// Per-entity state, partitioned by `EntityId mod shards.len()`.
+    /// `Arc` so clones are shallow (copy-on-write via `Arc::make_mut`)
+    /// and pool jobs can own a `'static` handle to a shard.
+    #[serde(with = "arc_shards")]
+    shards: Vec<Arc<Shard>>,
+    /// Next entity id to hand out; ids are dense and never reused.
+    next_entity: u32,
     associations: Vec<Association>,
     /// Adjacency index: entity → indices into `associations`. Serialized
     /// (as pairs — JSON map keys must be strings) so a deserialized
     /// database is query-ready.
     #[serde(with = "map_as_pairs")]
     adjacency: BTreeMap<EntityId, Vec<usize>>,
-    #[serde(with = "map_as_pairs")]
-    series: BTreeMap<MetricId, TimeSeries>,
     /// Application tag → member entities (operator-defined apps, §2.1).
     applications: BTreeMap<String, BTreeSet<EntityId>>,
     /// Default interval for new series, seconds.
@@ -65,44 +85,90 @@ pub struct MonitoringDb {
     changes: ChangeLog,
 }
 
+impl Default for MonitoringDb {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl MonitoringDb {
-    /// New empty database with the given metric interval.
+    /// New empty database with the given metric interval; shard count
+    /// comes from the environment (`MURPHY_SHARDS`, see
+    /// [`shard_count_from_env`]).
     pub fn new(interval_secs: u64) -> Self {
+        Self::with_shards(interval_secs, shard_count_from_env())
+    }
+
+    /// New empty database with an explicit shard count (clamped to at
+    /// least 1). Shard count is fixed for the database's lifetime.
+    pub fn with_shards(interval_secs: u64, shards: usize) -> Self {
+        let shards = shards.clamp(1, 256);
         Self {
+            shards: (0..shards).map(|_| Arc::new(Shard::default())).collect(),
+            next_entity: 0,
+            associations: Vec::new(),
+            adjacency: BTreeMap::new(),
+            applications: BTreeMap::new(),
             interval_secs,
-            ..Default::default()
+            changes: ChangeLog::default(),
         }
+    }
+
+    /// Number of shards the per-entity state is partitioned across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: EntityId) -> usize {
+        id.index() % self.shards.len()
+    }
+
+    fn shard_mut(&mut self, id: EntityId) -> &mut Shard {
+        let idx = self.shard_of(id);
+        Arc::make_mut(&mut self.shards[idx])
+    }
+
+    fn shard(&self, id: EntityId) -> &Shard {
+        &self.shards[self.shard_of(id)]
     }
 
     // ---- entities -------------------------------------------------------
 
     /// Register an entity; returns its id.
     pub fn add_entity(&mut self, kind: EntityKind, name: impl Into<String>) -> EntityId {
-        let id = EntityId(self.entities.len() as u32);
-        self.entities.push(Some(Entity {
+        let id = EntityId(self.next_entity);
+        self.next_entity += 1;
+        let entity = Entity {
             id,
             kind,
             name: name.into(),
-        }));
+        };
+        self.shard_mut(id).entities.insert(id, entity);
         id
     }
 
     /// Look up an entity (None if unknown or removed).
     pub fn entity(&self, id: EntityId) -> Option<&Entity> {
-        self.entities.get(id.index()).and_then(|e| e.as_ref())
+        self.shard(id).entities.get(&id)
     }
 
     /// Number of live entities.
     pub fn entity_count(&self) -> usize {
-        self.entities.iter().filter(|e| e.is_some()).count()
+        self.shards.iter().map(|s| s.entities.len()).sum()
     }
 
-    /// Iterate live entities.
+    /// Iterate live entities in id order.
     pub fn entities(&self) -> impl Iterator<Item = &Entity> {
-        self.entities.iter().filter_map(|e| e.as_ref())
+        let mut all: Vec<&Entity> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.entities.values())
+            .collect();
+        all.sort_by_key(|e| e.id);
+        all.into_iter()
     }
 
-    /// Live entities of a given kind.
+    /// Live entities of a given kind, in id order.
     pub fn entities_of_kind(&self, kind: EntityKind) -> Vec<EntityId> {
         self.entities()
             .filter(|e| e.kind == kind)
@@ -110,7 +176,7 @@ impl MonitoringDb {
             .collect()
     }
 
-    /// Find an entity by exact name.
+    /// Find an entity by exact name (lowest id wins on duplicates).
     pub fn entity_by_name(&self, name: &str) -> Option<&Entity> {
         self.entities().find(|e| e.name == name)
     }
@@ -118,12 +184,11 @@ impl MonitoringDb {
     /// Remove an entity along with its associations, series, and app tags
     /// (Table 2 "missing entity"). Ids of other entities are unaffected.
     pub fn remove_entity(&mut self, id: EntityId) {
-        if let Some(slot) = self.entities.get_mut(id.index()) {
-            *slot = None;
-        }
+        let shard = self.shard_mut(id);
+        shard.entities.remove(&id);
+        shard.series.retain(|m, _| m.entity != id);
         self.associations.retain(|a| !a.touches(id));
         self.rebuild_adjacency();
-        self.series.retain(|m, _| m.entity != id);
         for members in self.applications.values_mut() {
             members.remove(&id);
         }
@@ -179,16 +244,29 @@ impl MonitoringDb {
 
     /// Remove one specific association (Table 2 "missing edge"). Returns
     /// true if an association between the endpoints with that kind existed.
+    ///
+    /// Matching candidates come from the adjacency index (`O(deg a)`
+    /// instead of a scan of every association), and removal renumbers the
+    /// index incrementally instead of rebuilding it from scratch.
     pub fn remove_association(&mut self, a: EntityId, b: EntityId, kind: AssociationKind) -> bool {
-        let before = self.associations.len();
-        self.associations.retain(|x| {
-            !(x.kind == kind && ((x.a == a && x.b == b) || (x.a == b && x.b == a)))
-        });
-        let removed = self.associations.len() != before;
-        if removed {
-            self.rebuild_adjacency();
+        // Every matching association touches `a`, so its adjacency list
+        // contains all candidates.
+        let hits: Vec<usize> = match self.adjacency.get(&a) {
+            Some(idxs) => idxs
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let x = &self.associations[i];
+                    x.kind == kind && ((x.a == a && x.b == b) || (x.a == b && x.b == a))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        if hits.is_empty() {
+            return false;
         }
-        removed
+        self.remove_association_indices(hits);
+        true
     }
 
     /// Remove the association at a given index (used by randomized
@@ -197,9 +275,41 @@ impl MonitoringDb {
         if index >= self.associations.len() {
             return None;
         }
-        let removed = self.associations.remove(index);
-        self.rebuild_adjacency();
+        let removed = self.associations[index];
+        self.remove_association_indices(vec![index]);
         Some(removed)
+    }
+
+    /// Remove the associations at the given indices, compacting the
+    /// association vector and renumbering the adjacency index in one pass
+    /// over each structure (no full rebuild).
+    fn remove_association_indices(&mut self, mut idxs: Vec<usize>) {
+        idxs.sort_unstable();
+        idxs.dedup();
+        if idxs.is_empty() {
+            return;
+        }
+        // remap[old index] = new index, or usize::MAX when removed.
+        let old = std::mem::take(&mut self.associations);
+        let mut remap: Vec<usize> = Vec::with_capacity(old.len());
+        let mut next_removed = 0usize;
+        for (i, assoc) in old.into_iter().enumerate() {
+            if next_removed < idxs.len() && idxs[next_removed] == i {
+                remap.push(usize::MAX);
+                next_removed += 1;
+            } else {
+                remap.push(self.associations.len());
+                self.associations.push(assoc);
+            }
+        }
+        self.adjacency.retain(|_, list| {
+            list.retain_mut(|idx| {
+                let new = remap[*idx];
+                *idx = new;
+                new != usize::MAX
+            });
+            !list.is_empty()
+        });
     }
 
     fn rebuild_adjacency(&mut self) {
@@ -217,7 +327,8 @@ impl MonitoringDb {
     /// Ensure a series exists for `(entity, kind)` and return it mutably.
     pub fn series_mut(&mut self, entity: EntityId, kind: MetricKind) -> &mut TimeSeries {
         let interval = self.interval_secs;
-        self.series
+        self.shard_mut(entity)
+            .series
             .entry(MetricId::new(entity, kind))
             .or_insert_with(|| TimeSeries::new(interval, 0))
     }
@@ -227,28 +338,112 @@ impl MonitoringDb {
         self.series_mut(entity, kind).set(tick, value);
     }
 
+    /// Bulk-record a batch of samples; equivalent to calling
+    /// [`MonitoringDb::record`] for each sample in order, but partitioned
+    /// by shard and ingested with one pool job per shard. Within a shard,
+    /// consecutive same-metric samples share one series-map probe, so
+    /// metric-grouped batches (bootstrap loads) amortize the map lookups
+    /// to one per metric.
+    ///
+    /// This is the ingestion fast path used by the simulators
+    /// (`murphy-sim` flushes one batch per tick) and the `ingest` series
+    /// of `repro bench`.
+    pub fn record_batch(&mut self, samples: &[MetricSample]) {
+        if samples.is_empty() {
+            return;
+        }
+        let interval = self.interval_secs;
+        if self.shards.len() == 1 {
+            Arc::make_mut(&mut self.shards[0]).ingest(samples, interval);
+            return;
+        }
+        let n = self.shards.len();
+        let mut parts: Vec<Vec<MetricSample>> = vec![Vec::new(); n];
+        for &s in samples {
+            parts[self.shard_of(s.entity)].push(s);
+        }
+        // Move each shard (plus its partition) into a slot the pool jobs
+        // take ownership from; jobs return the updated shards through the
+        // result vector, which `run_indexed` delivers in index order.
+        // Returning owned values — rather than unwrapping a shared Arc
+        // afterwards — sidesteps the brief window where a worker still
+        // holds the batch alive after `run_indexed` returns.
+        let shards = std::mem::take(&mut self.shards);
+        let slots: Arc<Vec<Mutex<Option<(Arc<Shard>, Vec<MetricSample>)>>>> = Arc::new(
+            shards
+                .into_iter()
+                .zip(parts)
+                .map(|pair| Mutex::new(Some(pair)))
+                .collect(),
+        );
+        self.shards = murphy_pool::global().run_indexed(n, move |i| {
+            let (mut shard, part) = slots[i]
+                .lock()
+                .expect("shard slot poisoned")
+                .take()
+                .expect("shard slot taken twice");
+            if !part.is_empty() {
+                Arc::make_mut(&mut shard).ingest(&part, interval);
+            }
+            shard
+        });
+    }
+
     /// Fetch the series for a metric, if present.
     pub fn series(&self, metric: MetricId) -> Option<&TimeSeries> {
-        self.series.get(&metric)
+        self.shard(metric.entity).series.get(&metric)
+    }
+
+    /// Apply `f` to each requested metric's series (or `None` when the
+    /// metric has no data), fanning the scans out over the worker pool —
+    /// one job per metric, each reading its entity's shard. Results come
+    /// back in `ids` order regardless of thread count.
+    ///
+    /// This is the read-side counterpart of [`MonitoringDb::record_batch`]:
+    /// online training extracts its per-metric window columns through it.
+    pub fn scan_series<T, F>(&self, ids: Vec<MetricId>, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(MetricId, Option<&TimeSeries>) -> T + Send + Sync + 'static,
+    {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let shards: Vec<Arc<Shard>> = self.shards.clone();
+        let nshards = shards.len();
+        let n = ids.len();
+        let ids = Arc::new(ids);
+        murphy_pool::global().run_indexed(n, move |i| {
+            let m = ids[i];
+            let shard = &shards[m.entity.index() % nshards];
+            f(m, shard.series.get(&m))
+        })
     }
 
     /// Metric kinds with data for an entity.
     pub fn metrics_of(&self, entity: EntityId) -> Vec<MetricKind> {
-        self.series
+        self.shard(entity)
+            .series
             .keys()
             .filter(|m| m.entity == entity)
             .map(|m| m.kind)
             .collect()
     }
 
-    /// All metric ids with data.
+    /// All metric ids with data, in `(entity, kind)` order.
     pub fn all_metrics(&self) -> Vec<MetricId> {
-        self.series.keys().copied().collect()
+        let mut all: Vec<MetricId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.series.keys().copied())
+            .collect();
+        all.sort_unstable();
+        all
     }
 
     /// Remove one metric's series entirely (Table 2 "missing metric").
     pub fn remove_metric(&mut self, metric: MetricId) -> bool {
-        self.series.remove(&metric).is_some()
+        self.shard_mut(metric.entity).series.remove(&metric).is_some()
     }
 
     /// Current value of a metric (latest finite point), imputing the kind
@@ -268,9 +463,9 @@ impl MonitoringDb {
 
     /// Latest tick with any data across all series ("now").
     pub fn latest_tick(&self) -> u64 {
-        self.series
-            .values()
-            .filter_map(|s| s.last_tick())
+        self.shards
+            .iter()
+            .filter_map(|s| s.latest_tick())
             .max()
             .unwrap_or(0)
     }
@@ -401,6 +596,72 @@ mod tests {
     }
 
     #[test]
+    fn remove_entity_leaves_no_dangling_associations() {
+        // A hub entity with several edges: removal must purge every
+        // association touching it and leave the adjacency index consistent
+        // for all survivors (no stale indices into the compacted vector).
+        let mut db = MonitoringDb::with_shards(10, 4);
+        let hub = db.add_entity(EntityKind::Host, "hub");
+        let mut others = Vec::new();
+        for i in 0..5 {
+            let e = db.add_entity(EntityKind::Vm, format!("vm-{i}"));
+            db.relate(e, hub, AssociationKind::RunsOn);
+            others.push(e);
+        }
+        db.relate(others[0], others[1], AssociationKind::Related);
+        db.remove_entity(hub);
+        assert!(db.associations().iter().all(|a| !a.touches(hub)));
+        assert!(db.associations_of(hub).is_empty());
+        for &e in &others {
+            // Every surviving index must point at a live association that
+            // really touches the entity.
+            for a in db.associations_of(e) {
+                assert!(a.touches(e));
+            }
+        }
+        assert_eq!(db.neighbors(others[0]), vec![others[1]]);
+        assert_eq!(db.associations().len(), 1);
+    }
+
+    #[test]
+    fn entity_by_name_after_removal() {
+        let (mut db, vm, _, _) = small_db();
+        assert_eq!(db.entity_by_name("vm-1").unwrap().id, vm);
+        db.remove_entity(vm);
+        assert!(db.entity_by_name("vm-1").is_none());
+        // A new entity may reuse the name (ids are never reused).
+        let vm2 = db.add_entity(EntityKind::Vm, "vm-1");
+        assert_ne!(vm2, vm);
+        assert_eq!(db.entity_by_name("vm-1").unwrap().id, vm2);
+    }
+
+    #[test]
+    fn value_at_missing_ticks() {
+        let (mut db, vm, _, _) = small_db();
+        // Series starts at tick 2 with a NaN gap at tick 3.
+        db.record(vm, MetricKind::CpuUtil, 2, 30.0);
+        db.record(vm, MetricKind::CpuUtil, 4, 40.0);
+        let m = MetricId::new(vm, MetricKind::CpuUtil);
+        assert_eq!(db.value_at(m, 1), 0.0); // before the series starts
+        assert_eq!(db.value_at(m, 3), 0.0); // NaN gap inside the series
+        assert_eq!(db.value_at(m, 4), 40.0);
+        assert_eq!(db.value_at(m, 99), 0.0); // beyond the end
+    }
+
+    #[test]
+    fn recent_changes_boundary_is_inclusive() {
+        let (mut db, vm, _, _) = small_db();
+        db.record_change(vm, ChangeKind::Reconfigured, 4, "before");
+        db.record_change(vm, ChangeKind::Reconfigured, 5, "at");
+        db.record_change(vm, ChangeKind::Reconfigured, 6, "after");
+        let recent = db.recent_changes(5);
+        let details: Vec<&str> = recent.iter().map(|c| c.detail.as_str()).collect();
+        assert_eq!(details, vec!["at", "after"]);
+        assert!(db.recent_changes(7).is_empty());
+        assert_eq!(db.recent_changes(0).len(), 3);
+    }
+
+    #[test]
     fn remove_association_specific() {
         let (mut db, vm, host, _) = small_db();
         assert!(db.remove_association(host, vm, AssociationKind::RunsOn));
@@ -417,6 +678,40 @@ mod tests {
         assert_eq!(removed.kind, AssociationKind::FlowDestination);
         assert!(!db.neighbors(vm).contains(&flow));
         assert!(db.remove_association_at(5).is_none());
+    }
+
+    #[test]
+    fn removal_renumbers_adjacency_index() {
+        // Regression: removing an association must renumber every other
+        // entity's adjacency list so it still points at the right entries
+        // of the compacted association vector.
+        let mut db = MonitoringDb::with_shards(10, 3);
+        let a = db.add_entity(EntityKind::Vm, "a");
+        let b = db.add_entity(EntityKind::Vm, "b");
+        let c = db.add_entity(EntityKind::Vm, "c");
+        let d = db.add_entity(EntityKind::Vm, "d");
+        db.relate(a, b, AssociationKind::Related); // idx 0
+        db.relate(b, c, AssociationKind::Related); // idx 1
+        db.relate(c, d, AssociationKind::Related); // idx 2
+        db.relate(a, d, AssociationKind::Related); // idx 3
+        assert!(db.remove_association(b, c, AssociationKind::Related));
+        // Indices shifted down by one for former 2 and 3; queries through
+        // the index must still resolve correctly for every entity.
+        assert_eq!(db.neighbors(a), vec![b, d]);
+        assert_eq!(db.neighbors(b), vec![a]);
+        assert_eq!(db.neighbors(c), vec![d]);
+        assert_eq!(db.neighbors(d), vec![a, c]);
+        for &e in &[a, b, c, d] {
+            for assoc in db.associations_of(e) {
+                assert!(assoc.touches(e), "stale adjacency entry for {e:?}");
+            }
+        }
+        // Removing a middle index then adding fresh edges keeps the index
+        // append-consistent.
+        db.remove_association_at(0);
+        db.relate(b, d, AssociationKind::Related);
+        assert_eq!(db.neighbors(b), vec![d]);
+        assert_eq!(db.neighbors(d), vec![a, b, c]);
     }
 
     #[test]
@@ -448,5 +743,80 @@ mod tests {
         db.relate(e, e, AssociationKind::Related);
         assert_eq!(db.associations_of(e).len(), 1);
         assert!(db.neighbors(e).is_empty()); // a self-loop is not a neighbor
+    }
+
+    #[test]
+    fn record_batch_matches_per_record_loop() {
+        for shards in [1, 2, 4, 8] {
+            let mut batched = MonitoringDb::with_shards(10, shards);
+            let mut looped = MonitoringDb::with_shards(10, shards);
+            let mut samples = Vec::new();
+            for i in 0..12 {
+                let e_b = batched.add_entity(EntityKind::Vm, format!("vm-{i}"));
+                let e_l = looped.add_entity(EntityKind::Vm, format!("vm-{i}"));
+                assert_eq!(e_b, e_l);
+                for t in 0..20 {
+                    let v = (i as f64) * 100.0 + t as f64;
+                    samples.push(MetricSample::new(e_b, MetricKind::CpuUtil, t, v));
+                    samples.push(MetricSample::new(e_b, MetricKind::MemUtil, t, -v));
+                }
+            }
+            batched.record_batch(&samples);
+            for s in &samples {
+                looped.record(s.entity, s.kind, s.tick, s.value);
+            }
+            assert_eq!(batched.all_metrics(), looped.all_metrics());
+            for m in batched.all_metrics() {
+                for t in 0..20 {
+                    assert_eq!(
+                        batched.value_at(m, t).to_bits(),
+                        looped.value_at(m, t).to_bits(),
+                        "shards={shards} metric={m:?} tick={t}"
+                    );
+                }
+            }
+            assert_eq!(batched.latest_tick(), looped.latest_tick());
+        }
+    }
+
+    #[test]
+    fn scan_series_preserves_request_order() {
+        let mut db = MonitoringDb::with_shards(10, 4);
+        let ids: Vec<EntityId> = (0..9)
+            .map(|i| db.add_entity(EntityKind::Vm, format!("vm-{i}")))
+            .collect();
+        for (i, &e) in ids.iter().enumerate() {
+            db.record(e, MetricKind::CpuUtil, 0, i as f64);
+        }
+        // Request in reverse order, plus one missing metric.
+        let mut request: Vec<MetricId> = ids
+            .iter()
+            .rev()
+            .map(|&e| MetricId::new(e, MetricKind::CpuUtil))
+            .collect();
+        request.push(MetricId::new(ids[0], MetricKind::MemUtil));
+        let got = db.scan_series(request, |_, series| series.and_then(|s| s.at(0)));
+        let mut expected: Vec<Option<f64>> = (0..9).rev().map(|i| Some(i as f64)).collect();
+        expected.push(None);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let (mut db, vm, _, _) = small_db();
+        db.record(vm, MetricKind::CpuUtil, 0, 1.0);
+        let snapshot = db.clone();
+        db.record(vm, MetricKind::CpuUtil, 1, 2.0);
+        let m = MetricId::new(vm, MetricKind::CpuUtil);
+        assert_eq!(snapshot.latest_tick(), 0);
+        assert_eq!(db.latest_tick(), 1);
+        assert_eq!(snapshot.value_at(m, 0), 1.0);
+    }
+
+    #[test]
+    fn shard_count_is_explicit_and_clamped() {
+        assert_eq!(MonitoringDb::with_shards(10, 0).shard_count(), 1);
+        assert_eq!(MonitoringDb::with_shards(10, 4).shard_count(), 4);
+        assert_eq!(MonitoringDb::with_shards(10, 10_000).shard_count(), 256);
     }
 }

@@ -15,6 +15,9 @@
 //! * [`association`] — typed, optionally directed associations,
 //! * [`database`] — [`database::MonitoringDb`], the queryable in-memory
 //!   monitoring database everything else reads from,
+//! * [`shard`] — the entity-partitioned storage behind the database,
+//!   which lets bulk ingestion and training-window scans fan out over
+//!   the shared worker pool,
 //! * [`snapshot`] — aligned metric matrices for model training,
 //! * [`changes`] — the configuration-change log surfaced next to a
 //!   diagnosis (§4.2: "Murphy also presents all recent configuration
@@ -36,6 +39,7 @@ pub mod database;
 pub mod degrade;
 pub mod entity;
 pub mod metric;
+pub mod shard;
 pub mod snapshot;
 pub mod timeseries;
 
@@ -44,5 +48,6 @@ pub use changes::{ChangeKind, ChangeLog, ConfigChange};
 pub use database::MonitoringDb;
 pub use entity::{Entity, EntityId, EntityKind};
 pub use metric::{MetricId, MetricKind};
+pub use shard::{shard_count_from_env, MetricSample};
 pub use snapshot::MetricMatrix;
 pub use timeseries::TimeSeries;

@@ -1,0 +1,204 @@
+//! Entity shards: the partitioned storage behind [`crate::MonitoringDb`].
+//!
+//! The paper's Aria estate holds ≈17K entities whose telemetry all lands
+//! in one monitoring platform (§2.1). A monolithic map serializes every
+//! write and every training-window scan on one structure; at estate
+//! scale that single structure becomes the ingestion bottleneck. The
+//! database therefore partitions **per-entity state** — the entity
+//! records and their metric time series — across [`Shard`]s keyed by
+//! `EntityId` (`id mod shard_count`), while cross-entity state
+//! (associations, the adjacency index, application tags, the
+//! configuration-change log) stays global in the facade.
+//!
+//! Shards are held as `Arc<Shard>` so that
+//!
+//! * bulk ingestion ([`crate::MonitoringDb::record_batch`]) can move each
+//!   shard into a `'static` job on the shared `murphy-pool` worker pool
+//!   (the workspace forbids `unsafe`, so jobs cannot borrow from the
+//!   caller's stack), one job per shard, and
+//! * read fan-outs ([`crate::MonitoringDb::scan_series`], used by the
+//!   online-training column extraction) can hand every worker a cheap
+//!   clone of the shard vector and scan columns concurrently.
+//!
+//! Cloning a sharded database is shallow (copy-on-write): mutating a
+//! clone copies only the shards it touches.
+//!
+//! Sharding is an internal layout choice, **never** a semantic one: the
+//! proptest suite in `crates/telemetry/tests/shard_parity.rs` pins every
+//! query observationally identical between 1 and N shards, and
+//! `crates/core/tests/determinism.rs` pins end-to-end diagnosis reports
+//! bit-identical across shard counts.
+
+use crate::entity::{Entity, EntityId};
+use crate::metric::{MetricId, MetricKind};
+use crate::timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Serialize ordered maps with non-string keys as pair sequences, so the
+/// database round-trips through JSON (whose object keys must be strings).
+pub(crate) mod map_as_pairs {
+    use serde::de::{Deserialize, Deserializer};
+    use serde::ser::{Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize,
+        V: Serialize,
+        S: Serializer,
+    {
+        serializer.collect_seq(map.iter())
+    }
+
+    pub fn deserialize<'de, K, V, D>(deserializer: D) -> Result<BTreeMap<K, V>, D::Error>
+    where
+        K: Deserialize<'de> + Ord,
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(deserializer)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// Number of shards from the environment: `MURPHY_SHARDS` when set to a
+/// positive integer, otherwise the machine's available parallelism
+/// (capped at 256), falling back to 1. Read once per
+/// [`crate::MonitoringDb::new`] call, so tests and benches can vary it
+/// per database via [`crate::MonitoringDb::with_shards`] instead.
+pub fn shard_count_from_env() -> usize {
+    std::env::var("MURPHY_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(1)
+        .min(256)
+}
+
+/// One metric observation, the unit of bulk ingestion
+/// ([`crate::MonitoringDb::record_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// The observed entity.
+    pub entity: EntityId,
+    /// The metric kind.
+    pub kind: MetricKind,
+    /// Tick index of the observation.
+    pub tick: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+impl MetricSample {
+    /// Construct from parts.
+    pub fn new(entity: EntityId, kind: MetricKind, tick: u64, value: f64) -> Self {
+        Self {
+            entity,
+            kind,
+            tick,
+            value,
+        }
+    }
+
+    /// The `(entity, kind)` pair this sample lands in.
+    pub fn metric_id(&self) -> MetricId {
+        MetricId::new(self.entity, self.kind)
+    }
+}
+
+/// One partition of per-entity state: the entities whose id hashes to
+/// this shard, plus their metric time series. Cross-entity state lives in
+/// the [`crate::MonitoringDb`] facade.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Shard {
+    /// Entities resident in this shard, keyed by id.
+    #[serde(with = "map_as_pairs")]
+    pub(crate) entities: BTreeMap<EntityId, Entity>,
+    /// Metric series of this shard's entities. `MetricId` orders by
+    /// `(entity, kind)`, so one entity's metrics are contiguous.
+    #[serde(with = "map_as_pairs")]
+    pub(crate) series: BTreeMap<MetricId, TimeSeries>,
+}
+
+impl Shard {
+    /// Bulk-apply samples, equivalent to calling
+    /// [`crate::MonitoringDb::record`] for each sample in order.
+    ///
+    /// Samples are applied strictly in input order (so last-write-wins
+    /// semantics match the per-record loop exactly — pinned by
+    /// `tests/shard_parity.rs`), but the series map is consulted once per
+    /// *run* of consecutive same-metric samples instead of once per
+    /// sample. Metric-grouped batches (bootstrap loads, per-series
+    /// backfills) thus amortize the map probes to one per metric, with no
+    /// clone or sort of the input; interleaved batches degrade gracefully
+    /// to one probe per sample, the per-record cost.
+    pub(crate) fn ingest(&mut self, samples: &[MetricSample], interval_secs: u64) {
+        let mut i = 0;
+        while i < samples.len() {
+            let metric = samples[i].metric_id();
+            let series = self
+                .series
+                .entry(metric)
+                .or_insert_with(|| TimeSeries::new(interval_secs, 0));
+            while i < samples.len() && samples[i].metric_id() == metric {
+                series.set(samples[i].tick, samples[i].value);
+                i += 1;
+            }
+        }
+    }
+
+    /// Latest tick with a finite value across this shard's series.
+    pub(crate) fn latest_tick(&self) -> Option<u64> {
+        self.series.values().filter_map(TimeSeries::last_tick).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::EntityKind;
+
+    #[test]
+    fn env_shard_count_is_positive_and_bounded() {
+        let n = shard_count_from_env();
+        assert!(n >= 1);
+        assert!(n <= 256);
+    }
+
+    #[test]
+    fn sample_metric_id() {
+        let s = MetricSample::new(EntityId(3), MetricKind::CpuUtil, 7, 1.5);
+        assert_eq!(s.metric_id(), MetricId::new(EntityId(3), MetricKind::CpuUtil));
+    }
+
+    #[test]
+    fn ingest_matches_per_record_application() {
+        // Interleaved metrics with an overwrite: last write per tick wins,
+        // per-metric order preserved.
+        let e = EntityId(0);
+        let samples = vec![
+            MetricSample::new(e, MetricKind::CpuUtil, 0, 1.0),
+            MetricSample::new(e, MetricKind::MemUtil, 0, 9.0),
+            MetricSample::new(e, MetricKind::CpuUtil, 1, 2.0),
+            MetricSample::new(e, MetricKind::CpuUtil, 0, 3.0),
+        ];
+        let mut shard = Shard::default();
+        shard.entities.insert(
+            e,
+            Entity {
+                id: e,
+                kind: EntityKind::Vm,
+                name: "vm".into(),
+            },
+        );
+        shard.ingest(&samples, 10);
+        let cpu = shard.series.get(&MetricId::new(e, MetricKind::CpuUtil)).unwrap();
+        assert_eq!(cpu.at(0), Some(3.0), "overwrite must win");
+        assert_eq!(cpu.at(1), Some(2.0));
+        let mem = shard.series.get(&MetricId::new(e, MetricKind::MemUtil)).unwrap();
+        assert_eq!(mem.at(0), Some(9.0));
+        assert_eq!(shard.latest_tick(), Some(1));
+    }
+}

@@ -1,0 +1,321 @@
+//! Shard-parity suite: the shard count is an internal layout choice and
+//! must never be observable through the query API.
+//!
+//! Every test drives the *same* operation sequence — entity/metric/
+//! association mutations interleaved with removals and bulk ingests —
+//! into databases built with 1, 2, 4, and 8 shards, then asserts that
+//! every query surface (entities, neighbors, series values, latest tick,
+//! snapshots, applications, change log) answers identically. The 1-shard
+//! database is the reference semantics; N-shard databases must be
+//! observationally equal to it.
+
+use murphy_telemetry::{
+    AssociationKind, EntityId, EntityKind, MetricId, MetricKind, MetricMatrix, MetricSample,
+    MonitoringDb,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ASSOC_KINDS: [AssociationKind; 3] = [
+    AssociationKind::Related,
+    AssociationKind::RunsOn,
+    AssociationKind::FlowDestination,
+];
+
+/// One step of a workload, phrased in *logical* indices (resolved against
+/// the set of ids handed out so far, so the same program is meaningful on
+/// every database it is replayed against).
+#[derive(Debug, Clone)]
+enum Op {
+    AddEntity(usize),
+    Record { e: usize, k: usize, tick: u64, value: f64 },
+    Batch(Vec<(usize, usize, u64, f64)>),
+    Relate { a: usize, b: usize, k: usize },
+    RemoveEntity(usize),
+    RemoveMetric { e: usize, k: usize },
+    RemoveAssociation { a: usize, b: usize, k: usize },
+    RemoveAssociationAt(usize),
+    TagApp { app: usize, e: usize },
+    RecordChange { e: usize, tick: u64 },
+}
+
+/// Replay a workload. Both databases see the exact same call sequence
+/// because index resolution depends only on how many ids were handed out,
+/// which is identical across shard counts.
+fn apply(db: &mut MonitoringDb, ops: &[Op]) {
+    let mut ids: Vec<EntityId> = Vec::new();
+    let pick = |ids: &[EntityId], i: usize| ids[i % ids.len()];
+    for op in ops {
+        match *op {
+            Op::AddEntity(k) => {
+                let kind = EntityKind::ALL[k % EntityKind::ALL.len()];
+                let id = db.add_entity(kind, format!("e{}", ids.len()));
+                ids.push(id);
+            }
+            Op::Record { e, k, tick, value } if !ids.is_empty() => {
+                let kind = MetricKind::ALL[k % MetricKind::ALL.len()];
+                db.record(pick(&ids, e), kind, tick, value);
+            }
+            Op::Batch(ref samples) if !ids.is_empty() => {
+                let batch: Vec<MetricSample> = samples
+                    .iter()
+                    .map(|&(e, k, tick, value)| {
+                        let kind = MetricKind::ALL[k % MetricKind::ALL.len()];
+                        MetricSample::new(pick(&ids, e), kind, tick, value)
+                    })
+                    .collect();
+                db.record_batch(&batch);
+            }
+            Op::Relate { a, b, k } if !ids.is_empty() => {
+                db.relate(pick(&ids, a), pick(&ids, b), ASSOC_KINDS[k % ASSOC_KINDS.len()]);
+            }
+            Op::RemoveEntity(e) if !ids.is_empty() => {
+                db.remove_entity(pick(&ids, e));
+            }
+            Op::RemoveMetric { e, k } if !ids.is_empty() => {
+                let kind = MetricKind::ALL[k % MetricKind::ALL.len()];
+                db.remove_metric(MetricId::new(pick(&ids, e), kind));
+            }
+            Op::RemoveAssociation { a, b, k } if !ids.is_empty() => {
+                db.remove_association(
+                    pick(&ids, a),
+                    pick(&ids, b),
+                    ASSOC_KINDS[k % ASSOC_KINDS.len()],
+                );
+            }
+            Op::RemoveAssociationAt(i) => {
+                let len = db.associations().len();
+                if len > 0 {
+                    db.remove_association_at(i % len);
+                }
+            }
+            Op::TagApp { app, e } if !ids.is_empty() => {
+                db.tag_application(format!("app{}", app % 3), pick(&ids, e));
+            }
+            Op::RecordChange { e, tick } if !ids.is_empty() => {
+                db.record_change(
+                    pick(&ids, e),
+                    murphy_telemetry::ChangeKind::Reconfigured,
+                    tick,
+                    "op",
+                );
+            }
+            _ => {} // mutation on an empty database: skipped on both sides
+        }
+    }
+}
+
+/// Assert observational equality of every query surface. `a` is the
+/// 1-shard reference.
+fn assert_parity(a: &MonitoringDb, b: &MonitoringDb) {
+    // Entities.
+    assert_eq!(a.entity_count(), b.entity_count());
+    let ea: Vec<_> = a.entities().cloned().collect();
+    let eb: Vec<_> = b.entities().cloned().collect();
+    assert_eq!(ea, eb, "entity iteration differs");
+    for kind in EntityKind::ALL {
+        assert_eq!(a.entities_of_kind(kind), b.entities_of_kind(kind));
+    }
+    for e in &ea {
+        assert_eq!(a.entity_by_name(&e.name).map(|x| x.id), b.entity_by_name(&e.name).map(|x| x.id));
+    }
+
+    // Associations and adjacency-backed queries.
+    assert_eq!(a.associations(), b.associations());
+    for e in &ea {
+        assert_eq!(a.neighbors(e.id), b.neighbors(e.id), "neighbors({})", e.id);
+        let aa: Vec<_> = a.associations_of(e.id).into_iter().copied().collect();
+        let ab: Vec<_> = b.associations_of(e.id).into_iter().copied().collect();
+        assert_eq!(aa, ab, "associations_of({})", e.id);
+    }
+
+    // Metrics: same ids, same per-tick bits, same imputation behaviour.
+    assert_eq!(a.all_metrics(), b.all_metrics());
+    assert_eq!(a.latest_tick(), b.latest_tick());
+    let horizon = a.latest_tick() + 2;
+    for m in a.all_metrics() {
+        assert_eq!(a.metrics_of(m.entity), b.metrics_of(m.entity));
+        assert_eq!(
+            a.current_value(m).to_bits(),
+            b.current_value(m).to_bits(),
+            "current_value({m:?})"
+        );
+        for t in 0..horizon {
+            assert_eq!(
+                a.value_at(m, t).to_bits(),
+                b.value_at(m, t).to_bits(),
+                "value_at({m:?}, {t})"
+            );
+        }
+        let (sa, sb) = (a.series(m), b.series(m));
+        assert_eq!(sa.is_some(), sb.is_some());
+        if let (Some(sa), Some(sb)) = (sa, sb) {
+            assert_eq!(sa.len(), sb.len(), "series length for {m:?}");
+        }
+    }
+
+    // Snapshot extraction (training's aligned matrices).
+    let metrics = a.all_metrics();
+    let ma = MetricMatrix::extract(a, &metrics, 0, horizon);
+    let mb = MetricMatrix::extract(b, &metrics, 0, horizon);
+    assert_eq!(ma, mb, "snapshot matrices differ");
+
+    // Applications and the change log.
+    assert_eq!(a.applications(), b.applications());
+    for app in a.applications() {
+        assert_eq!(a.application_members(app), b.application_members(app));
+    }
+    for e in &ea {
+        assert_eq!(a.applications_of(e.id), b.applications_of(e.id));
+    }
+    assert_eq!(a.change_log().len(), b.change_log().len());
+    assert_eq!(a.recent_changes(0), b.recent_changes(0));
+}
+
+/// Replay `ops` at 1 vs 2/4/8 shards and demand parity.
+fn check_parity(ops: &[Op]) {
+    let mut reference = MonitoringDb::with_shards(10, 1);
+    apply(&mut reference, ops);
+    for shards in [2usize, 4, 8] {
+        let mut sharded = MonitoringDb::with_shards(10, shards);
+        assert_eq!(sharded.shard_count(), shards);
+        apply(&mut sharded, ops);
+        assert_parity(&reference, &sharded);
+    }
+}
+
+/// Decode one packed tuple into an [`Op`] — shared by the proptest
+/// strategies and the seeded randomized workload, so both explore the
+/// same op space.
+fn decode(sel: usize, a: usize, b: usize, tick: u64, value: f64) -> Op {
+    match sel % 12 {
+        // Weight entity creation and recording so workloads grow.
+        0 | 1 => Op::AddEntity(a),
+        2 | 3 => Op::Record { e: a, k: b, tick, value },
+        4 => Op::Batch(
+            (0..8)
+                .map(|i| (a + i, b + i, tick + (i as u64 % 3), value + i as f64))
+                .collect(),
+        ),
+        5 | 6 => Op::Relate { a, b, k: sel },
+        7 => Op::RemoveEntity(a),
+        8 => Op::RemoveMetric { e: a, k: b },
+        9 => Op::RemoveAssociation { a, b, k: sel },
+        10 => Op::RemoveAssociationAt(a),
+        _ => {
+            if a % 2 == 0 {
+                Op::TagApp { app: b, e: a }
+            } else {
+                Op::RecordChange { e: a, tick }
+            }
+        }
+    }
+}
+
+#[test]
+fn randomized_workloads_are_shard_invariant() {
+    // Seeded pseudo-random programs: long interleavings of growth,
+    // ingestion, and all three removal flavours.
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let ops: Vec<Op> = (0..400)
+            .map(|_| {
+                decode(
+                    rng.gen_range(0..12usize),
+                    rng.gen_range(0..32usize),
+                    rng.gen_range(0..32usize),
+                    rng.gen_range(0..48u64),
+                    rng.gen_range(-1e3..1e3),
+                )
+            })
+            .collect();
+        check_parity(&ops);
+    }
+}
+
+#[test]
+fn batch_heavy_workload_matches_per_record_reference() {
+    // The same samples ingested via record_batch (sharded path) and via
+    // the per-record loop (reference semantics) must agree bit-for-bit,
+    // including overwrites at the same (metric, tick).
+    let mut rng = StdRng::seed_from_u64(7);
+    for shards in [1usize, 2, 4, 8] {
+        let mut batched = MonitoringDb::with_shards(10, shards);
+        let mut reference = MonitoringDb::with_shards(10, 1);
+        let ids: Vec<EntityId> = (0..24)
+            .map(|i| {
+                let kind = EntityKind::ALL[i % EntityKind::ALL.len()];
+                let a = batched.add_entity(kind, format!("e{i}"));
+                let r = reference.add_entity(kind, format!("e{i}"));
+                assert_eq!(a, r);
+                a
+            })
+            .collect();
+        for _round in 0..10 {
+            let samples: Vec<MetricSample> = (0..300)
+                .map(|_| {
+                    MetricSample::new(
+                        ids[rng.gen_range(0..ids.len())],
+                        MetricKind::ALL[rng.gen_range(0..MetricKind::ALL.len())],
+                        rng.gen_range(0..60u64),
+                        rng.gen_range(-1e6..1e6),
+                    )
+                })
+                .collect();
+            batched.record_batch(&samples);
+            for s in &samples {
+                reference.record(s.entity, s.kind, s.tick, s.value);
+            }
+        }
+        assert_parity(&reference, &batched);
+    }
+}
+
+#[test]
+fn empty_and_single_entity_edges() {
+    // Degenerate workloads: nothing, removals on empty, one entity only.
+    check_parity(&[]);
+    check_parity(&[
+        Op::RemoveEntity(0),
+        Op::RemoveAssociationAt(3),
+        Op::AddEntity(0),
+        Op::Record { e: 0, k: 0, tick: 5, value: 1.5 },
+        Op::RemoveMetric { e: 0, k: 0 },
+        Op::RemoveEntity(0),
+        Op::RemoveEntity(0),
+    ]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_programs_are_shard_invariant(
+        raw in proptest::collection::vec(
+            (0usize..12, 0usize..32, 0usize..32, 0u64..48, -1e3f64..1e3),
+            20..140,
+        )
+    ) {
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(sel, a, b, tick, value)| decode(sel, a, b, tick, value))
+            .collect();
+        check_parity(&ops);
+    }
+
+    #[test]
+    fn interleaved_removals_keep_adjacency_consistent(
+        edges in proptest::collection::vec((0usize..10, 0usize..10, 0usize..3), 5..40),
+        removals in proptest::collection::vec((0usize..10, 0usize..10, 0usize..3), 0..20)
+    ) {
+        let mut ops: Vec<Op> = (0..10).map(Op::AddEntity).collect();
+        for &(a, b, k) in &edges {
+            ops.push(Op::Relate { a, b, k });
+        }
+        for &(a, b, k) in &removals {
+            ops.push(Op::RemoveAssociation { a, b, k });
+        }
+        check_parity(&ops);
+    }
+}

@@ -3,22 +3,26 @@
 #
 # Usage: scripts/tier1.sh
 #
-# The test suite runs twice — once sequential (MURPHY_THREADS=1), once
-# over a 4-thread worker pool — because the pool's thread count is fixed
-# per process (sized once from the environment): only separate processes
-# can pin that the global-pool paths behave identically at both settings.
-# In-process thread-count variation is covered by
-# crates/core/tests/determinism.rs via explicit WorkerPool instances.
+# The test suite runs under a thread × shard matrix — MURPHY_THREADS
+# ∈ {1, 4} crossed with MURPHY_SHARDS ∈ {1, 4} — because both knobs are
+# fixed per process (the pool's thread count is sized once from the
+# environment; env-constructed databases read MURPHY_SHARDS at creation):
+# only separate processes can pin that the global-pool and default-shard
+# paths behave identically at every setting. In-process variation is
+# covered by crates/core/tests/determinism.rs (explicit WorkerPool
+# instances, explicit with_shards counts) and
+# crates/telemetry/tests/shard_parity.rs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 
-echo "tier1: test suite with MURPHY_THREADS=1 (sequential pool)"
-MURPHY_THREADS=1 cargo test -q
-
-echo "tier1: test suite with MURPHY_THREADS=4 (parallel pool)"
-MURPHY_THREADS=4 cargo test -q
+for threads in 1 4; do
+  for shards in 1 4; do
+    echo "tier1: test suite with MURPHY_THREADS=$threads MURPHY_SHARDS=$shards"
+    MURPHY_THREADS=$threads MURPHY_SHARDS=$shards cargo test -q
+  done
+done
 
 # Lint gate: warnings are errors. Skipped gracefully where the clippy
 # component isn't installed (minimal toolchains).
