@@ -374,6 +374,10 @@ fn run_perf(scale: Scale) {
 /// timing the per-`record` loop against `record_batch`, and
 /// `train_window_scan` tracks the fanned-out `scan_series` column
 /// extraction at each shard count: `jq '.[-1].ingest' BENCH_perf.json`.
+/// The `train_incremental` series compares a full retrain against the
+/// fingerprint-keyed training cache — cold, warm steady state, and after
+/// dirtying ~10% of the metrics in-window:
+/// `jq '.[-1].train_incremental' BENCH_perf.json`.
 fn run_bench(scale: Scale, out: &str) {
     let (apps, murphy) = perf_setup(scale);
     let wall = std::time::Instant::now();
@@ -384,6 +388,7 @@ fn run_bench(scale: Scale, out: &str) {
     let batch_points = perf::run_batch(&apps, murphy);
     let ingest_apps = apps.last().copied().unwrap_or(1);
     let ingest_points = perf::run_ingest(&[1, 2, 4, 8], ingest_apps);
+    let incremental_points = perf::run_train_incremental(&apps, murphy);
     let unix_time_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -415,6 +420,14 @@ fn run_bench(scale: Scale, out: &str) {
             p.shards, p.samples, p.metrics, p.entities, p.record_ms, p.batch_ms, p.bulk_ms, p.scan_ms,
         );
     }
+    for p in &incremental_points {
+        println!(
+            "bench: train_incremental @{} entities ({} metrics) — full {:.1} ms, cold {:.1} ms (refit {}), warm {:.1} ms (refit {} / reused {}), 10%-dirty {:.1} ms (refit {} / reused {}, {} metrics touched)",
+            p.entities, p.metrics, p.full_ms, p.cold_ms, p.cold_refit,
+            p.warm_ms, p.warm_refit, p.warm_reused,
+            p.dirty_ms, p.dirty_refit, p.dirty_reused, p.dirty_metrics,
+        );
+    }
     println!(
         "bench: pool {} threads, {} batches, {} jobs dispatched",
         pool_stats.threads, pool_stats.batches_run, pool_stats.jobs_dispatched,
@@ -432,6 +445,7 @@ fn run_bench(scale: Scale, out: &str) {
         "points": points,
         "diagnose_batch": batch_points,
         "ingest": ingest_points,
+        "train_incremental": incremental_points,
         "train_window_scan": ingest_points
             .iter()
             .map(|p| serde_json::json!({"shards": p.shards, "scan_ms": p.scan_ms}))

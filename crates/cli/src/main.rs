@@ -222,6 +222,10 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
             "plan cache: plans_built={} plans_reused={}",
             report.plans_built, report.plans_reused
         );
+        println!(
+            "train cache: refit {} / reused {}",
+            report.factors_refit, report.factors_reused
+        );
         report.root_causes.iter().map(|r| r.entity).collect()
     } else {
         let kind = match scheme_word.as_str() {
@@ -278,6 +282,10 @@ fn cmd_diagnose_batch(
         println!(
             "plan cache: plans_built={} plans_reused={}",
             report.plans_built, report.plans_reused
+        );
+        println!(
+            "train cache: refit {} / reused {}",
+            report.factors_refit, report.factors_reused
         );
         if report.root_causes.is_empty() {
             println!("no root causes reported");

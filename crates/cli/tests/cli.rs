@@ -50,6 +50,9 @@ fn emulate_info_diagnose_round_trip() {
     // Cache observability: the plan-interner counters are reported.
     assert!(text.contains("plans_built="), "no plan cache stats: {text}");
     assert!(text.contains("plans_reused="), "no plan cache stats: {text}");
+    // ...and the training-cache counters. A one-shot diagnose trains once
+    // on a fresh cache, so everything is a refit.
+    assert!(text.contains("train cache: refit "), "no train cache stats: {text}");
 
     std::fs::remove_file(&trace).ok();
 }
@@ -97,6 +100,7 @@ fn diagnose_batch_mode() {
     assert!(text.contains("symptoms in one batch"), "{text}");
     assert!(text.contains("1. "), "no ranked output: {text}");
     assert!(text.contains("plans_built="), "no plan cache stats: {text}");
+    assert!(text.contains("train cache: refit "), "no train cache stats: {text}");
 
     // Batch mode is Murphy-only: baselines have no batch entry point.
     let out = murphy_bin()

@@ -563,6 +563,7 @@ mod tests {
             current: vec![50.0, 50.0, 50.0],
             history: vec![hist, hist, hist],
             reference: vec![hist, hist, hist],
+            train_stats: Default::default(),
         };
         let mut ctx = SymptomContext::new(&graph, EntityId(2), 0);
         ctx.prepare(&mrf, &[EntityId(0), EntityId(1)], None);

@@ -120,13 +120,23 @@ pub struct DiagnosisReport {
     /// diagnosis on the same context).
     #[serde(default)]
     pub plans_reused: usize,
+    /// Factors refit by the training run behind this diagnosis (see
+    /// [`crate::train_cache::TrainStats`]). All reports produced against
+    /// the same trained model carry the same pair of training counters.
+    #[serde(default)]
+    pub factors_refit: usize,
+    /// Factors that training run reused from its [`crate::train_cache::TrainingCache`].
+    #[serde(default)]
+    pub factors_reused: usize,
 }
 
 /// Equality compares the diagnosis *output* — root causes and candidate
 /// accounting — and deliberately ignores the `plans_built`/`plans_reused`
-/// cache counters: a batch run shares one prepared context across
-/// symptoms, so its per-report plan deltas legitimately differ from
-/// independent runs even though the diagnosis itself is bit-identical.
+/// and `factors_refit`/`factors_reused` cache counters: a batch run
+/// shares one prepared context across symptoms, and a warm training
+/// cache refits fewer factors than a cold one, so those deltas
+/// legitimately differ from independent runs even though the diagnosis
+/// itself is bit-identical.
 impl PartialEq for DiagnosisReport {
     fn eq(&self, other: &Self) -> bool {
         self.root_causes == other.root_causes
@@ -273,6 +283,8 @@ fn diagnose_with_context_on(
         candidates_capped: eligible.len().saturating_sub(capped.len()),
         plans_built,
         plans_reused,
+        factors_refit: mrf.train_stats.factors_refit,
+        factors_reused: mrf.train_stats.factors_reused,
         root_causes,
     }
 }

@@ -10,6 +10,7 @@
 use murphy_learn::TrainedModel;
 use murphy_telemetry::MetricId;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A single metric's factor within the MRF.
 pub struct Factor {
@@ -20,8 +21,11 @@ pub struct Factor {
     pub feature_positions: Vec<usize>,
     /// The metric ids of those features (for reporting).
     pub feature_ids: Vec<MetricId>,
-    /// The fitted conditional model with residual noise scale.
-    pub model: TrainedModel,
+    /// The fitted conditional model with residual noise scale. Shared:
+    /// the training cache hands the same fit to every model generation
+    /// that can reuse it, so a factor holds an [`Arc`] rather than the
+    /// model itself.
+    pub model: Arc<TrainedModel>,
 }
 
 impl Factor {
@@ -103,7 +107,7 @@ mod tests {
             target: MetricId::new(EntityId(0), MetricKind::CpuUtil),
             feature_positions: vec![2],
             feature_ids: vec![MetricId::new(EntityId(1), MetricKind::CpuUtil)],
-            model,
+            model: Arc::new(model),
         }
     }
 

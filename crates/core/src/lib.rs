@@ -38,6 +38,7 @@ pub mod murphy;
 pub mod pool;
 pub mod ranking;
 pub mod sampler;
+pub mod train_cache;
 pub mod training;
 
 pub use config::MurphyConfig;
@@ -54,3 +55,5 @@ pub use labels::EntityLabel;
 pub use mrf::MrfModel;
 pub use murphy::Murphy;
 pub use pool::{PoolStats, WorkerPool};
+pub use train_cache::{train_cache_enabled, TrainStats, TrainingCache};
+pub use training::{train_mrf, train_mrf_cached, TrainingWindow};

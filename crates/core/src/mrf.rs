@@ -7,6 +7,7 @@
 //! training window) for anomaly scoring and counterfactual offsets.
 
 use crate::factor::Factor;
+use crate::train_cache::TrainStats;
 use murphy_stats::Summary;
 use murphy_telemetry::{EntityId, MetricId, MetricKind};
 use std::collections::BTreeMap;
@@ -84,6 +85,9 @@ pub struct MrfModel {
     /// (used for anomaly scoring, where an incident-inflated σ would
     /// squash exactly the z-scores the ranking needs).
     pub reference: Vec<Summary>,
+    /// Refit/reuse accounting from the training run that produced this
+    /// model (all zeros for models assembled outside the trainer).
+    pub train_stats: TrainStats,
 }
 
 impl MrfModel {
@@ -170,6 +174,7 @@ impl std::fmt::Debug for MrfModel {
                 "factors",
                 &self.factors.iter().filter(|x| x.is_some()).count(),
             )
+            .field("train_stats", &self.train_stats)
             .finish()
     }
 }
@@ -200,6 +205,7 @@ mod tests {
             index,
             reference: history.clone(),
             history,
+            train_stats: TrainStats::default(),
         }
     }
 

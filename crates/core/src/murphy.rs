@@ -8,10 +8,13 @@
 use crate::config::MurphyConfig;
 use crate::diagnose::{diagnose_symptom, DiagnosisReport, Symptom};
 use crate::explain::{explain_chain, Explanation};
-use crate::training::{train_mrf, TrainingWindow};
+use crate::mrf::MrfModel;
+use crate::train_cache::{train_cache_enabled, TrainingCache};
+use crate::training::{train_mrf, train_mrf_cached, TrainingWindow};
 use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph};
 use murphy_telemetry::{ConfigChange, EntityId, MetricId, MonitoringDb};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// A diagnosis report with explanations attached.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -31,17 +34,49 @@ pub struct ExplainedReport {
 #[derive(Debug, Clone)]
 pub struct Murphy {
     config: MurphyConfig,
+    /// Fingerprint-keyed fit cache shared by every training run this
+    /// engine performs. Cloning the engine shares the cache (a clone
+    /// warms the same entries) — this is the "per-tenant model cache" of
+    /// the service direction: one `Murphy` per tenant.
+    cache: Arc<Mutex<TrainingCache>>,
 }
 
 impl Murphy {
     /// Create an engine with the given configuration.
     pub fn new(config: MurphyConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cache: Arc::new(Mutex::new(TrainingCache::new())),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &MurphyConfig {
         &self.config
+    }
+
+    /// Number of factor fits currently held by the engine's training
+    /// cache (observability; 0 until the first cached diagnosis).
+    pub fn cached_factors(&self) -> usize {
+        self.cache.lock().expect("training cache lock poisoned").len()
+    }
+
+    /// Train the MRF for a diagnosis call — through the engine's held
+    /// [`TrainingCache`] when `MURPHY_TRAIN_CACHE` allows it (the
+    /// default), otherwise the legacy full refit. Both paths produce
+    /// bit-identical models; only the cost differs.
+    fn train(
+        &self,
+        db: &MonitoringDb,
+        graph: &RelationshipGraph,
+        window: TrainingWindow,
+    ) -> Arc<MrfModel> {
+        if train_cache_enabled() {
+            let mut cache = self.cache.lock().expect("training cache lock poisoned");
+            train_mrf_cached(db, graph, &self.config, window, db.latest_tick(), &mut cache)
+        } else {
+            train_mrf(db, graph, &self.config, window, db.latest_tick())
+        }
     }
 
     /// Diagnose one symptom: online training + counterfactual inference +
@@ -54,7 +89,7 @@ impl Murphy {
         symptom: &Symptom,
     ) -> DiagnosisReport {
         let window = TrainingWindow::online(db, self.config.n_train);
-        let mrf = train_mrf(db, graph, &self.config, window, db.latest_tick());
+        let mrf = self.train(db, graph, window);
         diagnose_symptom(db, &mrf, graph, symptom, &self.config)
     }
 
@@ -73,7 +108,7 @@ impl Murphy {
         symptoms: &[Symptom],
     ) -> Vec<DiagnosisReport> {
         let window = TrainingWindow::online(db, self.config.n_train);
-        let mrf = train_mrf(db, graph, &self.config, window, db.latest_tick());
+        let mrf = self.train(db, graph, window);
         crate::diagnose::diagnose_batch(db, &mrf, graph, symptoms, &self.config)
     }
 
@@ -86,7 +121,7 @@ impl Murphy {
         symptom: &Symptom,
         window: TrainingWindow,
     ) -> DiagnosisReport {
-        let mrf = train_mrf(db, graph, &self.config, window, db.latest_tick());
+        let mrf = self.train(db, graph, window);
         diagnose_symptom(db, &mrf, graph, symptom, &self.config)
     }
 

@@ -133,6 +133,7 @@ mod tests {
             current: vec![90.0, 14.0, 10.0],
             history: vec![hist, hist, hist],
             reference: vec![hist, hist, hist],
+            train_stats: Default::default(),
         }
     }
 

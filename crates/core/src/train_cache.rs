@@ -1,0 +1,320 @@
+//! Fingerprint-keyed factor-fit caching (incremental training).
+//!
+//! Murphy trains *online*: every diagnosis refits the full MRF on the
+//! window ending at diagnosis time (§4.2). In steady state, though,
+//! consecutive training runs see mostly identical columns — only metrics
+//! whose window slid over new data actually change. A factor's fit is a
+//! pure function of
+//!
+//! 1. its target training column,
+//! 2. every candidate column (feature selection reads all of them),
+//! 3. the candidate-position list itself (selection indexes into it),
+//! 4. the fit-relevant configuration, and
+//! 5. the per-position RNG seed,
+//!
+//! so a cached fit may be reused **iff all five match bitwise** — which is
+//! exactly what [`TrainingCache`] checks. Columns are fingerprinted over
+//! `f64::to_bits` (NaN payloads and signed zeros distinguish like any
+//! other bit pattern), plus the window bounds and the imputation fill, so
+//! a window slide or a changed default invalidates honestly. Entries are
+//! keyed by [`MetricId`] — not position — so the cache survives
+//! [`crate::mrf::MetricIndex`] remaps when entities are added or removed;
+//! the recorded seed catches the remaps that *do* change a factor's fit.
+//!
+//! The cached path is pinned **bit-identical** to a cold
+//! [`crate::training::train_mrf`] by `crates/core/tests/train_cache_parity.rs`
+//! and the determinism suite; `MURPHY_TRAIN_CACHE=0` forces the legacy
+//! full-refit path as a parity reference.
+
+use crate::config::MurphyConfig;
+use murphy_learn::{ModelKind, TrainedModel};
+use murphy_telemetry::MetricId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Refit/reuse accounting for one training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Factors fitted on the worker pool this run (cache misses, or every
+    /// trainable factor on the legacy path).
+    pub factors_refit: usize,
+    /// Factors reused from the cache without refitting.
+    pub factors_reused: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a round over a 64-bit word.
+#[inline]
+fn mix(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Bitwise fingerprint of one training column: FNV-1a over the window
+/// bounds, the imputation fill (as bits), the column length, and every
+/// value's `f64::to_bits`. Equal fingerprints ⟺ (modulo hash collisions)
+/// bit-identical training input for that metric.
+pub fn column_fingerprint(window_from: u64, window_to: u64, fill_bits: u64, column: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, window_from);
+    h = mix(h, window_to);
+    h = mix(h, fill_bits);
+    h = mix(h, column.len() as u64);
+    for &v in column {
+        h = mix(h, v.to_bits());
+    }
+    h
+}
+
+fn model_tag(kind: ModelKind) -> u64 {
+    match kind {
+        ModelKind::Ridge => 0,
+        ModelKind::Gmm => 1,
+        ModelKind::Svr => 2,
+        ModelKind::Mlp => 3,
+    }
+}
+
+/// Fingerprint of the full configuration. Conservative by design: *any*
+/// config change flushes the cache, even fields the fit itself never
+/// reads — a config flip is rare and a stale-cache bug is not worth the
+/// few saved refits.
+pub fn config_fingerprint(config: &MurphyConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = mix(h, model_tag(config.model));
+    h = mix(h, config.n_train as u64);
+    h = mix(h, config.feature_budget as u64);
+    h = mix(h, config.gibbs_rounds as u64);
+    h = mix(h, config.subgraph_slack as u64);
+    h = mix(h, config.num_samples as u64);
+    h = mix(h, config.alpha.to_bits());
+    h = mix(h, config.counterfactual_sigmas.to_bits());
+    h = mix(h, config.min_relief_sigmas.to_bits());
+    h = mix(h, config.threshold_scale.to_bits());
+    h = mix(h, config.anomaly_saturation.to_bits());
+    h = mix(h, config.max_candidates as u64);
+    h = mix(h, config.seed);
+    h = mix(h, config.parallel as u64);
+    h
+}
+
+/// Whether the fingerprint-keyed training cache is enabled
+/// (`MURPHY_TRAIN_CACHE`; default on, set `0` to force the legacy
+/// full-refit path).
+pub fn train_cache_enabled() -> bool {
+    !matches!(std::env::var("MURPHY_TRAIN_CACHE"), Ok(v) if v.trim() == "0")
+}
+
+/// The cached outcome of one successful factor fit.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedFit {
+    /// Selected feature metrics, in selection order. Positions are *not*
+    /// cached — they are re-resolved against the current index at reuse
+    /// time, which is what makes entries survive index remaps.
+    pub(crate) feature_ids: Vec<MetricId>,
+    /// The fitted model, shared with every factor built from it.
+    pub(crate) model: Arc<TrainedModel>,
+}
+
+/// One cache entry: everything the fit was a function of, plus its
+/// outcome. `fit: None` records a *failed* fit — failure is as pure a
+/// function of the inputs as success, so it is reusable too.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    target_fp: u64,
+    /// (candidate metric, column fingerprint) pairs, in candidate order.
+    candidates: Vec<(MetricId, u64)>,
+    /// The per-position seed the fit consumed. Seeds derive from index
+    /// *positions*, so a remap that moves the target refits even when
+    /// every column is unchanged.
+    seed: u64,
+    fit: Option<CachedFit>,
+}
+
+/// Fingerprint-keyed cache of factor fits across training runs.
+///
+/// Hold one per model stream — [`crate::murphy::Murphy`] keeps one for
+/// all its diagnosis calls, and a long-running service would hold one per
+/// tenant. Entries whose metric leaves the index are evicted on every
+/// run, so churning topologies don't grow the cache without bound.
+#[derive(Debug, Default)]
+pub struct TrainingCache {
+    config_fp: Option<u64>,
+    entries: BTreeMap<MetricId, CacheEntry>,
+}
+
+impl TrainingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached fits.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a fit for this target metric is cached (matching or not).
+    pub fn contains(&self, target: MetricId) -> bool {
+        self.entries.contains_key(&target)
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.config_fp = None;
+    }
+
+    /// Flush the cache if the config fingerprint changed since the last
+    /// run (or this is the first).
+    pub(crate) fn reconcile_config(&mut self, fp: u64) {
+        if self.config_fp != Some(fp) {
+            self.entries.clear();
+            self.config_fp = Some(fp);
+        }
+    }
+
+    /// Look up a reusable fit: `Some(..)` only when the target
+    /// fingerprint, the full candidate list (ids *and* fingerprints, in
+    /// order), and the seed all match the cached entry.
+    pub(crate) fn lookup(
+        &self,
+        target: MetricId,
+        target_fp: u64,
+        candidates: &[(MetricId, u64)],
+        seed: u64,
+    ) -> Option<&Option<CachedFit>> {
+        let e = self.entries.get(&target)?;
+        (e.target_fp == target_fp && e.seed == seed && e.candidates == candidates)
+            .then_some(&e.fit)
+    }
+
+    /// Record the outcome of a fresh fit.
+    pub(crate) fn store(
+        &mut self,
+        target: MetricId,
+        target_fp: u64,
+        candidates: Vec<(MetricId, u64)>,
+        seed: u64,
+        fit: Option<CachedFit>,
+    ) {
+        self.entries.insert(
+            target,
+            CacheEntry {
+                target_fp,
+                candidates,
+                seed,
+                fit,
+            },
+        );
+    }
+
+    /// Evict entries whose target metric fails the predicate (used to
+    /// drop metrics that left the index).
+    pub(crate) fn retain<F: FnMut(MetricId) -> bool>(&mut self, mut keep: F) {
+        self.entries.retain(|&m, _| keep(m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use murphy_telemetry::{EntityId, MetricKind};
+
+    fn mid(e: u32) -> MetricId {
+        MetricId::new(EntityId(e), MetricKind::CpuUtil)
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_input() {
+        let col = [1.0, 2.0, 3.0];
+        let base = column_fingerprint(0, 3, 0, &col);
+        assert_eq!(base, column_fingerprint(0, 3, 0, &col));
+        assert_ne!(base, column_fingerprint(1, 3, 0, &col), "window from");
+        assert_ne!(base, column_fingerprint(0, 4, 0, &col), "window to");
+        assert_ne!(base, column_fingerprint(0, 3, 1, &col), "fill");
+        assert_ne!(base, column_fingerprint(0, 3, 0, &[1.0, 2.0, 3.5]), "value");
+        assert_ne!(base, column_fingerprint(0, 3, 0, &[1.0, 2.0]), "length");
+    }
+
+    #[test]
+    fn nan_columns_fingerprint_stably() {
+        // Bit-pattern equality, not value equality: the same NaN bits
+        // fingerprint identically run over run...
+        let nan_col = [1.0, f64::NAN, 3.0];
+        assert_eq!(
+            column_fingerprint(0, 3, 0, &nan_col),
+            column_fingerprint(0, 3, 0, &[1.0, f64::NAN, 3.0])
+        );
+        // ...while a NaN with different payload bits is a different input.
+        let other_nan = f64::from_bits(f64::NAN.to_bits() ^ 1);
+        assert!(other_nan.is_nan());
+        assert_ne!(
+            column_fingerprint(0, 3, 0, &nan_col),
+            column_fingerprint(0, 3, 0, &[1.0, other_nan, 3.0])
+        );
+        // Signed zeros differ bitwise too.
+        assert_ne!(
+            column_fingerprint(0, 3, 0, &[0.0, 1.0, 2.0]),
+            column_fingerprint(0, 3, 0, &[-0.0, 1.0, 2.0])
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_changes() {
+        let a = MurphyConfig::fast();
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&a.with_seed(9)));
+        assert_ne!(
+            config_fingerprint(&a),
+            config_fingerprint(&a.with_model(murphy_learn::ModelKind::Mlp))
+        );
+        let mut b = a;
+        b.feature_budget += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn lookup_requires_exact_key_match() {
+        let mut cache = TrainingCache::new();
+        let cands = vec![(mid(1), 11u64), (mid(2), 22u64)];
+        cache.store(mid(0), 7, cands.clone(), 42, None);
+        assert!(cache.lookup(mid(0), 7, &cands, 42).is_some());
+        assert!(cache.lookup(mid(0), 8, &cands, 42).is_none(), "target fp");
+        assert!(cache.lookup(mid(0), 7, &cands, 43).is_none(), "seed");
+        let reordered = vec![(mid(2), 22u64), (mid(1), 11u64)];
+        assert!(cache.lookup(mid(0), 7, &reordered, 42).is_none(), "order");
+        let refreshed = vec![(mid(1), 11u64), (mid(2), 23u64)];
+        assert!(cache.lookup(mid(0), 7, &refreshed, 42).is_none(), "cand fp");
+        assert!(cache.lookup(mid(9), 7, &cands, 42).is_none(), "unknown");
+    }
+
+    #[test]
+    fn config_reconcile_flushes_and_retain_evicts() {
+        let mut cache = TrainingCache::new();
+        cache.reconcile_config(1);
+        cache.store(mid(0), 7, vec![], 0, None);
+        cache.store(mid(1), 7, vec![], 0, None);
+        assert_eq!(cache.len(), 2);
+        // Same config: untouched.
+        cache.reconcile_config(1);
+        assert_eq!(cache.len(), 2);
+        // Changed config: flushed.
+        cache.reconcile_config(2);
+        assert!(cache.is_empty());
+
+        cache.store(mid(0), 7, vec![], 0, None);
+        cache.store(mid(1), 7, vec![], 0, None);
+        cache.retain(|m| m == mid(1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.contains(mid(0)));
+        assert!(cache.contains(mid(1)));
+    }
+}

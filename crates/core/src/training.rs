@@ -16,10 +16,14 @@
 use crate::config::MurphyConfig;
 use crate::factor::Factor;
 use crate::mrf::{MetricIndex, MrfModel};
+use crate::train_cache::{
+    column_fingerprint, config_fingerprint, CachedFit, TrainStats, TrainingCache,
+};
 use murphy_graph::RelationshipGraph;
 use murphy_learn::{select_top_features, TrainedModel};
 use murphy_stats::Summary;
 use murphy_telemetry::{MetricId, MetricKind, MonitoringDb};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// The tick window `[from, to)` to train on.
@@ -194,6 +198,60 @@ pub fn train_mrf(
     assemble_mrf(db, graph, config, index, columns, reference, current_tick, !window.is_empty())
 }
 
+/// [`train_mrf`] through a [`TrainingCache`]: factors whose fit inputs
+/// are bitwise unchanged since the cached run are reused; the rest are
+/// refit on the worker pool exactly as the cold path does. The returned
+/// model is **bit-identical** to a cold [`train_mrf`] call for any
+/// workload (pinned by `crates/core/tests/train_cache_parity.rs` and the
+/// determinism suite) — only [`MrfModel::train_stats`] and the cost
+/// differ.
+pub fn train_mrf_cached(
+    db: &MonitoringDb,
+    graph: &RelationshipGraph,
+    config: &MurphyConfig,
+    window: TrainingWindow,
+    current_tick: u64,
+    cache: &mut TrainingCache,
+) -> Arc<MrfModel> {
+    let index = metric_index_for(db, graph);
+
+    // Column extraction matches `train_mrf` exactly; the fingerprint is
+    // computed inside the scan closure so the sharded fan-out pays for
+    // the hashing, not the caller's thread.
+    let pairs: Vec<(Vec<f64>, u64)> = db.scan_series(index.ids().to_vec(), move |m, series| {
+        let fill = m.kind.default_value();
+        let col = match series {
+            Some(s) => s.window_mean_imputed(window.from, window.to, fill, 8),
+            None => vec![fill; window.len()],
+        };
+        let fp = column_fingerprint(window.from, window.to, fill.to_bits(), &col);
+        (col, fp)
+    });
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(pairs.len());
+    let mut fingerprints: Vec<u64> = Vec::with_capacity(pairs.len());
+    for (col, fp) in pairs {
+        columns.push(col);
+        fingerprints.push(fp);
+    }
+    let reference: Vec<Summary> = columns
+        .iter()
+        .map(|c| Summary::of(&c[..c.len() / 2]))
+        .collect();
+
+    assemble_mrf_cached(
+        db,
+        graph,
+        config,
+        index,
+        columns,
+        fingerprints,
+        reference,
+        current_tick,
+        !window.is_empty(),
+        cache,
+    )
+}
+
 /// Index every (entity, metric) pair of the graph.
 fn metric_index_for(db: &MonitoringDb, graph: &RelationshipGraph) -> MetricIndex {
     let mut ids: Vec<MetricId> = Vec::new();
@@ -238,23 +296,17 @@ fn assemble_mrf(
 ) -> Arc<MrfModel> {
     let current: Vec<f64> = index.ids().iter().map(|&m| db.value_at(m, current_tick)).collect();
     let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
-
-    // Resolve each factor's candidate features from the graph before the
-    // fan-out (graph lookups stay on the caller's thread).
-    let candidate_positions: Vec<Vec<usize>> = (0..index.len())
-        .map(|pos| {
-            let mut cps: Vec<usize> = Vec::new();
-            for n in graph.in_nbr_entities(index.id(pos).entity) {
-                cps.extend_from_slice(index.entity_positions(n));
-            }
-            cps
-        })
-        .collect();
+    let candidate_positions = resolve_candidate_positions(graph, &index);
 
     // Fit one factor per metric from its in-neighbors' metrics. The fits
     // are independent (each reads the shared inputs, none writes), with
     // deterministic per-position seeds — so the pool can fan them out and
     // still produce a bit-identical model to a sequential fit.
+    let factors_refit = if trainable {
+        columns.iter().filter(|c| !c.is_empty()).count()
+    } else {
+        0
+    };
     let n_jobs = index.len();
     let inputs = Arc::new(FitInputs {
         config: *config,
@@ -272,7 +324,146 @@ fn assemble_mrf(
         current,
         history,
         reference,
+        train_stats: TrainStats {
+            factors_refit,
+            factors_reused: 0,
+        },
     })
+}
+
+/// The cached counterpart of [`assemble_mrf`]: positions whose fit inputs
+/// match a cache entry reuse the cached fit (sharing its model through an
+/// `Arc` and re-resolving feature positions against the *current* index);
+/// the rest run through the same pool fan-out as the cold path — same
+/// jobs, same per-position seeds, results placed by index — so every
+/// factor is bit-identical to its cold twin.
+#[allow(clippy::too_many_arguments)]
+fn assemble_mrf_cached(
+    db: &MonitoringDb,
+    graph: &RelationshipGraph,
+    config: &MurphyConfig,
+    index: MetricIndex,
+    columns: Vec<Vec<f64>>,
+    fingerprints: Vec<u64>,
+    reference: Vec<Summary>,
+    current_tick: u64,
+    trainable: bool,
+    cache: &mut TrainingCache,
+) -> Arc<MrfModel> {
+    let current: Vec<f64> = index.ids().iter().map(|&m| db.value_at(m, current_tick)).collect();
+    let history: Vec<Summary> = columns.iter().map(|c| Summary::of(c)).collect();
+    let candidate_positions = resolve_candidate_positions(graph, &index);
+
+    cache.reconcile_config(config_fingerprint(config));
+
+    // (position, candidate key, seed) of every cache miss, in position
+    // order — the refit fan-out below preserves this order.
+    type Miss = (usize, Vec<(MetricId, u64)>, u64);
+    let n = index.len();
+    let mut factors: Vec<Option<Factor>> = (0..n).map(|_| None).collect();
+    let mut misses: Vec<Miss> = Vec::new();
+    let mut factors_reused = 0usize;
+    for pos in 0..n {
+        if !trainable || columns[pos].is_empty() {
+            // `fit_factor` would return None without consuming anything;
+            // neither a refit nor a reuse.
+            continue;
+        }
+        let target = index.id(pos);
+        let candidates: Vec<(MetricId, u64)> = candidate_positions[pos]
+            .iter()
+            .map(|&p| (index.id(p), fingerprints[p]))
+            .collect();
+        let seed = fit_seed(config.seed, pos);
+        match cache.lookup(target, fingerprints[pos], &candidates, seed) {
+            Some(fit) => {
+                factors_reused += 1;
+                factors[pos] = fit.as_ref().map(|cached| Factor {
+                    target,
+                    feature_positions: cached
+                        .feature_ids
+                        .iter()
+                        .map(|&id| {
+                            index
+                                .position(id)
+                                .expect("cached feature metric indexed (it was a candidate)")
+                        })
+                        .collect(),
+                    feature_ids: cached.feature_ids.clone(),
+                    model: Arc::clone(&cached.model),
+                });
+            }
+            None => misses.push((pos, candidates, seed)),
+        }
+    }
+
+    let factors_refit = misses.len();
+    let inputs = Arc::new(FitInputs {
+        config: *config,
+        index: index.clone(),
+        columns,
+        candidate_positions,
+        trainable,
+    });
+    let miss_positions: Arc<Vec<usize>> = Arc::new(misses.iter().map(|(pos, ..)| *pos).collect());
+    let jobs_inputs = Arc::clone(&inputs);
+    let jobs_positions = Arc::clone(&miss_positions);
+    let refit: Vec<Option<Factor>> = crate::pool::global()
+        .run_indexed(factors_refit, move |j| {
+            fit_factor(&jobs_inputs, jobs_positions[j])
+        });
+
+    for ((pos, candidates, seed), factor) in misses.into_iter().zip(refit) {
+        cache.store(
+            index.id(pos),
+            fingerprints[pos],
+            candidates,
+            seed,
+            factor.as_ref().map(|f| CachedFit {
+                feature_ids: f.feature_ids.clone(),
+                model: Arc::clone(&f.model),
+            }),
+        );
+        factors[pos] = factor;
+    }
+
+    // Bound the cache: metrics that left the index (removed entities, or
+    // a different graph altogether) can never match again — evict them.
+    cache.retain(|m| index.position(m).is_some());
+
+    Arc::new(MrfModel {
+        index,
+        factors,
+        current,
+        history,
+        reference,
+        train_stats: TrainStats {
+            factors_refit,
+            factors_reused,
+        },
+    })
+}
+
+/// Resolve each factor's candidate feature positions (all metrics of the
+/// target's incoming neighbor entities) sequentially up front, so the fit
+/// jobs never touch the graph.
+fn resolve_candidate_positions(graph: &RelationshipGraph, index: &MetricIndex) -> Vec<Vec<usize>> {
+    (0..index.len())
+        .map(|pos| {
+            let mut cps: Vec<usize> = Vec::new();
+            for n in graph.in_nbr_entities(index.id(pos).entity) {
+                cps.extend_from_slice(index.entity_positions(n));
+            }
+            cps
+        })
+        .collect()
+}
+
+/// The per-position fit seed. Position-derived (not metric-derived), so
+/// the training cache records the seed each fit consumed and refuses to
+/// reuse a fit whose target moved to a differently-seeded position.
+fn fit_seed(base: u64, pos: usize) -> u64 {
+    base ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
 /// Fit the factor for one metric position, or `None` when no usable model
@@ -295,17 +486,32 @@ fn fit_factor(inputs: &FitInputs, pos: usize) -> Option<Factor> {
     let feature_positions: Vec<usize> = chosen.iter().map(|&i| candidate_positions[i]).collect();
     let feature_ids: Vec<MetricId> = feature_positions.iter().map(|&p| inputs.index.id(p)).collect();
 
-    // Assemble training rows.
-    let rows: Vec<Vec<f64>> = (0..target_col.len())
-        .map(|t| feature_positions.iter().map(|&p| inputs.columns[p][t]).collect())
-        .collect();
-    let seed = inputs.config.seed ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    match TrainedModel::fit(inputs.config.model, &rows, target_col, seed) {
+    // Assemble the training matrix row-major into a per-worker scratch
+    // buffer — one reused allocation per thread instead of one `Vec` per
+    // training tick per factor. `fit_flat` is pinned bit-identical to the
+    // nested-rows fit by `crates/learn/tests/flat_parity.rs`.
+    thread_local! {
+        static ROW_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    }
+    let width = feature_positions.len();
+    let seed = fit_seed(inputs.config.seed, pos);
+    let fitted = ROW_BUF.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.reserve(width * target_col.len());
+        for t in 0..target_col.len() {
+            for &p in &feature_positions {
+                buf.push(inputs.columns[p][t]);
+            }
+        }
+        TrainedModel::fit_flat(inputs.config.model, &buf, width, target_col, seed)
+    });
+    match fitted {
         Ok(model) => Some(Factor {
             target: target_id,
             feature_positions,
             feature_ids,
-            model,
+            model: Arc::new(model),
         }),
         Err(_) => None,
     }

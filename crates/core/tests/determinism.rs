@@ -24,8 +24,8 @@
 
 use murphy_core::config::MurphyConfig;
 use murphy_core::diagnose::{diagnose_batch_on, diagnose_symptom_on};
-use murphy_core::training::{train_mrf, TrainingWindow};
-use murphy_core::{DiagnosisReport, Symptom, WorkerPool};
+use murphy_core::training::{train_mrf, train_mrf_cached, TrainingWindow};
+use murphy_core::{DiagnosisReport, Symptom, TrainingCache, WorkerPool};
 use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph};
 use murphy_telemetry::{
     AssociationKind, EntityId, EntityKind, MetricKind, MetricSample, MonitoringDb,
@@ -279,6 +279,52 @@ proptest! {
                             &format!("shards={shards}, symptom #{i}"),
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+/// Cache-trained models must diagnose bit-identically to cold-trained
+/// ones at every shard count — both on a cold cache (everything refit
+/// through the pool fan-out) and on a warm rerun (everything reused) —
+/// crossed with pool sizes for the candidate fan-out. The tier-1 matrix
+/// additionally runs this whole file under `MURPHY_THREADS={1,4}` ×
+/// `MURPHY_SHARDS={1,4}` × `MURPHY_TRAIN_CACHE={0,1}`, which varies the
+/// training pool and the `Murphy` facade's gate process-wide.
+#[test]
+fn cached_training_diagnoses_bit_identical_across_shard_counts() {
+    let config = fast_config();
+    let mut reference: Option<DiagnosisReport> = None;
+    for shards in [1usize, 2, 4, 8] {
+        let (db, graph, victim, _) = topology_env_sharded(5, true, 4.0, 1.1, shards);
+        let window = TrainingWindow::online(&db, 160);
+        let symptom = Symptom::high(victim, MetricKind::CpuUtil);
+
+        let cold = train_mrf(&db, &graph, &config, window, db.latest_tick());
+        let mut cache = TrainingCache::new();
+        let first = train_mrf_cached(&db, &graph, &config, window, db.latest_tick(), &mut cache);
+        assert_eq!(first.train_stats.factors_reused, 0, "shards={shards}: cold cache");
+        assert_eq!(
+            first.train_stats.factors_refit, cold.train_stats.factors_refit,
+            "shards={shards}: cold-cache run must fit exactly the cold path's factors"
+        );
+        let warm = train_mrf_cached(&db, &graph, &config, window, db.latest_tick(), &mut cache);
+        assert_eq!(warm.train_stats.factors_refit, 0, "shards={shards}: warm rerun");
+        assert!(warm.train_stats.factors_reused > 0, "shards={shards}: warm rerun");
+
+        for (label, mrf) in [("cold", &cold), ("first", &first), ("warm", &warm)] {
+            for threads in [1usize, 4] {
+                let report = diagnose_symptom_on(
+                    &db, mrf, &graph, &symptom, &config, &WorkerPool::new(threads),
+                );
+                match &reference {
+                    None => reference = Some(report),
+                    Some(r) => assert_reports_bit_identical(
+                        r,
+                        &report,
+                        &format!("shards={shards}, threads={threads}, model={label}"),
+                    ),
                 }
             }
         }

@@ -146,7 +146,7 @@ fn test_factor() -> Factor {
             MetricId::new(EntityId(2), MetricKind::CpuUtil),
             MetricId::new(EntityId(3), MetricKind::CpuUtil),
         ],
-        model,
+        model: std::sync::Arc::new(model),
     }
 }
 

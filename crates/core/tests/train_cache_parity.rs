@@ -1,0 +1,328 @@
+//! Bit-parity pinning for the fingerprint-keyed training cache.
+//!
+//! The contract: for any workload — fresh databases, new ticks, added or
+//! removed entities, window slides, config flips — [`train_mrf_cached`]
+//! produces a model **bit-identical** to a cold [`train_mrf`] on the same
+//! inputs. The cache may only change *how much work* training does
+//! (`train_stats`), never a single bit of the model. The proptest replays
+//! randomized incremental workloads against a held cache; the unit tests
+//! pin the individual invalidation edges the design argues for.
+
+use murphy_core::config::MurphyConfig;
+use murphy_core::mrf::MrfModel;
+use murphy_core::training::{train_mrf, train_mrf_cached, TrainingWindow};
+use murphy_core::TrainingCache;
+use murphy_graph::{build_from_seeds, BuildOptions, RelationshipGraph};
+use murphy_telemetry::{AssociationKind, EntityId, EntityKind, MetricId, MetricKind, MonitoringDb};
+use proptest::prelude::*;
+
+/// Bitwise equality of two trained models: every float through
+/// `to_bits()`, every factor field-by-field, plus a point-prediction probe
+/// through each factor's model (catches a swapped-but-similar fit that
+/// happens to share its summary statistics).
+fn assert_models_bit_identical(cold: &MrfModel, cached: &MrfModel, context: &str) {
+    assert_eq!(cold.index.ids(), cached.index.ids(), "{context}: index");
+    assert_eq!(cold.factors.len(), cached.factors.len(), "{context}");
+    for (pos, (a, b)) in cold.current.iter().zip(&cached.current).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: current[{pos}]");
+    }
+    for (label, xs, ys) in [
+        ("history", &cold.history, &cached.history),
+        ("reference", &cold.reference, &cached.reference),
+    ] {
+        for (pos, (a, b)) in xs.iter().zip(ys.iter()).enumerate() {
+            assert_eq!(a.count, b.count, "{context}: {label}[{pos}].count");
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{context}: {label}[{pos}].mean");
+            assert_eq!(
+                a.std_dev.to_bits(),
+                b.std_dev.to_bits(),
+                "{context}: {label}[{pos}].std_dev"
+            );
+        }
+    }
+    for (pos, (a, b)) in cold.factors.iter().zip(&cached.factors).enumerate() {
+        match (a, b) {
+            (None, None) => {}
+            (Some(fa), Some(fb)) => {
+                assert_eq!(fa.target, fb.target, "{context}: factor[{pos}].target");
+                assert_eq!(
+                    fa.feature_positions, fb.feature_positions,
+                    "{context}: factor[{pos}].feature_positions"
+                );
+                assert_eq!(
+                    fa.feature_ids, fb.feature_ids,
+                    "{context}: factor[{pos}].feature_ids"
+                );
+                assert_eq!(
+                    fa.model.residual_std.to_bits(),
+                    fb.model.residual_std.to_bits(),
+                    "{context}: factor[{pos}].residual_std"
+                );
+                assert_eq!(
+                    fa.model.train_mae.to_bits(),
+                    fb.model.train_mae.to_bits(),
+                    "{context}: factor[{pos}].train_mae"
+                );
+                // Probe prediction on the model's own current state.
+                assert_eq!(
+                    fa.predict(&cold.current).to_bits(),
+                    fb.predict(&cached.current).to_bits(),
+                    "{context}: factor[{pos}] prediction drift"
+                );
+            }
+            _ => panic!("{context}: factor[{pos}] presence differs"),
+        }
+    }
+}
+
+/// Train cold and cached on identical inputs, assert bit parity, and
+/// return the cached model (whose `train_stats` carry the refit/reuse
+/// accounting under test).
+fn train_both(
+    db: &MonitoringDb,
+    graph: &RelationshipGraph,
+    config: &MurphyConfig,
+    cache: &mut TrainingCache,
+    context: &str,
+) -> std::sync::Arc<MrfModel> {
+    let window = TrainingWindow::online(db, 100);
+    let cold = train_mrf(db, graph, config, window, db.latest_tick());
+    let cached = train_mrf_cached(db, graph, config, window, db.latest_tick(), cache);
+    assert_models_bit_identical(&cold, &cached, context);
+    assert_eq!(
+        cold.train_stats.factors_refit,
+        cached.train_stats.factors_refit + cached.train_stats.factors_reused,
+        "{context}: cached run must account for every cold-path fit"
+    );
+    cached
+}
+
+/// Record one synthetic tick for every listed entity.
+fn record_tick(db: &mut MonitoringDb, entities: &[EntityId], t: u64, jitter: f64) {
+    for (i, &e) in entities.iter().enumerate() {
+        let v = 10.0 + jitter + 5.0 * ((t as f64) * (0.2 + 0.05 * i as f64)).sin();
+        db.record(e, MetricKind::CpuUtil, t, v);
+    }
+}
+
+/// A directed hub: every spoke drives the victim (spoke → victim), so the
+/// victim's factor reads every spoke column and spokes read nothing.
+fn directed_hub(n_spokes: usize) -> (MonitoringDb, EntityId, Vec<EntityId>) {
+    let mut db = MonitoringDb::new(10);
+    let victim = db.add_entity(EntityKind::Vm, "victim");
+    let spokes: Vec<EntityId> = (0..n_spokes)
+        .map(|i| db.add_entity(EntityKind::Vm, format!("spoke{i}")))
+        .collect();
+    for &s in &spokes {
+        db.relate_directed(s, victim, AssociationKind::ServiceCall);
+    }
+    let mut all = vec![victim];
+    all.extend(&spokes);
+    for t in 0..120u64 {
+        record_tick(&mut db, &all, t, 0.0);
+    }
+    (db, victim, spokes)
+}
+
+fn graph_of(db: &MonitoringDb, victim: EntityId) -> RelationshipGraph {
+    build_from_seeds(db, &[victim], BuildOptions::default())
+}
+
+/// splitmix64: drives the replayed workload from one proptest-supplied
+/// seed, so the sequence is deterministic per seed yet covers every op
+/// kind over the 12 steps.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Replay a randomized 12-step incremental workload — new ticks,
+    /// in-window overwrites, entity adds/removes, config flips — against
+    /// one held cache, asserting cold/cached bit parity after every step.
+    #[test]
+    fn cached_training_is_bit_identical_under_incremental_workloads(
+        n in 3usize..6,
+        workload_seed in any::<u64>(),
+    ) {
+        let (mut db, victim, spokes) = directed_hub(n);
+        let mut entities: Vec<EntityId> = std::iter::once(victim).chain(spokes).collect();
+        let mut extras: Vec<EntityId> = Vec::new();
+        let mut config = MurphyConfig::fast();
+        let mut cache = TrainingCache::new();
+        let mut rng = workload_seed;
+
+        let graph = graph_of(&db, victim);
+        train_both(&db, &graph, &config, &mut cache, "initial");
+
+        for step in 0..12usize {
+            let r = splitmix(&mut rng);
+            let op = r % 5;
+            match op {
+                0 => {
+                    // Advance the clock 1–3 ticks (slides the window).
+                    for _ in 0..=(r >> 3) % 3 {
+                        let t = db.latest_tick() + 1;
+                        record_tick(&mut db, &entities, t, 0.3);
+                    }
+                }
+                1 => {
+                    // Late-arriving correction at an in-window tick,
+                    // clock unchanged.
+                    let e = entities[(r >> 3) as usize % entities.len()];
+                    let t = db.latest_tick().saturating_sub(5);
+                    db.record(e, MetricKind::CpuUtil, t, 42.0 + ((r >> 8) % 17) as f64);
+                }
+                2 => {
+                    // New spoke (backfilled) driving the victim.
+                    let e = db.add_entity(EntityKind::Vm, format!("extra{step}"));
+                    db.relate_directed(e, victim, AssociationKind::ServiceCall);
+                    for t in 0..=db.latest_tick() {
+                        db.record(e, MetricKind::CpuUtil, t, 7.0 + (t % 13) as f64);
+                    }
+                    entities.push(e);
+                    extras.push(e);
+                }
+                3 => {
+                    // Remove the most recently added extra, if any.
+                    if let Some(e) = extras.pop() {
+                        db.remove_entity(e);
+                        entities.retain(|&x| x != e);
+                    }
+                }
+                _ => {
+                    // Config flip (flushes the cache; parity must survive).
+                    config.seed ^= (r >> 3) | 1;
+                }
+            }
+            let graph = graph_of(&db, victim);
+            train_both(&db, &graph, &config, &mut cache, &format!("step {step}, op {op}"));
+        }
+    }
+}
+
+/// Steady state: retraining at an unchanged window refits nothing and
+/// reuses every factor.
+#[test]
+fn warm_rerun_reuses_every_factor() {
+    let (db, victim, spokes) = directed_hub(4);
+    let graph = graph_of(&db, victim);
+    let config = MurphyConfig::fast();
+    let mut cache = TrainingCache::new();
+
+    let cold = train_both(&db, &graph, &config, &mut cache, "cold");
+    assert_eq!(cold.train_stats.factors_reused, 0);
+    assert_eq!(cold.train_stats.factors_refit, spokes.len() + 1);
+    assert_eq!(cache.len(), spokes.len() + 1);
+
+    let warm = train_both(&db, &graph, &config, &mut cache, "warm");
+    assert_eq!(warm.train_stats.factors_refit, 0, "steady state must refit nothing");
+    assert_eq!(warm.train_stats.factors_reused, spokes.len() + 1);
+}
+
+/// A window slide changes every column fingerprint (the bounds are part of
+/// the hash), so nothing may be reused — stale-window fits never leak in.
+#[test]
+fn window_slide_invalidates_everything() {
+    let (mut db, victim, spokes) = directed_hub(4);
+    let config = MurphyConfig::fast();
+    let mut cache = TrainingCache::new();
+    let graph = graph_of(&db, victim);
+    train_both(&db, &graph, &config, &mut cache, "cold");
+
+    let entities: Vec<EntityId> = std::iter::once(victim).chain(spokes.iter().copied()).collect();
+    let t = db.latest_tick() + 1;
+    record_tick(&mut db, &entities, t, 1.0);
+
+    let graph = graph_of(&db, victim);
+    let slid = train_both(&db, &graph, &config, &mut cache, "slid");
+    assert_eq!(slid.train_stats.factors_reused, 0, "window slide must invalidate all");
+    assert_eq!(slid.train_stats.factors_refit, entities.len());
+}
+
+/// Overwriting one spoke's value at an in-window tick (no clock advance)
+/// refits exactly that spoke's own factor and the victim's (which reads
+/// the spoke as a candidate); every other spoke is reused.
+#[test]
+fn single_metric_update_invalidates_only_downstream_factors() {
+    let (mut db, victim, spokes) = directed_hub(5);
+    let config = MurphyConfig::fast();
+    let mut cache = TrainingCache::new();
+    let graph = graph_of(&db, victim);
+    train_both(&db, &graph, &config, &mut cache, "cold");
+
+    let t = db.latest_tick() - 10;
+    db.record(spokes[0], MetricKind::CpuUtil, t, 77.0);
+
+    let dirty = train_both(&db, &graph, &config, &mut cache, "dirty spoke");
+    // spoke0's own factor (target column changed) + victim (candidate
+    // column changed); the other 4 spokes have no candidates and
+    // unchanged targets.
+    assert_eq!(dirty.train_stats.factors_refit, 2);
+    assert_eq!(dirty.train_stats.factors_reused, spokes.len() - 1);
+}
+
+/// Adding an entity appends to the index, so existing positions — and
+/// their seeds — are stable: only the new entity and the factors that see
+/// it as a candidate refit.
+#[test]
+fn add_entity_preserves_reuse_for_untouched_factors() {
+    let (mut db, victim, spokes) = directed_hub(4);
+    let config = MurphyConfig::fast();
+    let mut cache = TrainingCache::new();
+    let graph = graph_of(&db, victim);
+    train_both(&db, &graph, &config, &mut cache, "cold");
+
+    let newcomer = db.add_entity(EntityKind::Vm, "newcomer");
+    db.relate_directed(newcomer, victim, AssociationKind::ServiceCall);
+    for t in 0..=db.latest_tick() {
+        db.record(newcomer, MetricKind::CpuUtil, t, 3.0 + (t % 7) as f64);
+    }
+
+    let graph = graph_of(&db, victim);
+    let grown = train_both(&db, &graph, &config, &mut cache, "grown");
+    // Refit: the newcomer's factor + the victim's (its candidate list
+    // gained a column). Reused: every untouched spoke.
+    assert_eq!(grown.train_stats.factors_refit, 2);
+    assert_eq!(grown.train_stats.factors_reused, spokes.len());
+}
+
+/// Removing an entity evicts its cache entry (bounding the cache) and the
+/// model stays bit-identical to a cold train on the shrunken topology.
+#[test]
+fn remove_entity_evicts_cache_entries() {
+    let (mut db, victim, spokes) = directed_hub(4);
+    let config = MurphyConfig::fast();
+    let mut cache = TrainingCache::new();
+    let graph = graph_of(&db, victim);
+    train_both(&db, &graph, &config, &mut cache, "cold");
+    let gone = MetricId::new(spokes[0], MetricKind::CpuUtil);
+    assert!(cache.contains(gone));
+    assert_eq!(cache.len(), spokes.len() + 1);
+
+    db.remove_entity(spokes[0]);
+    let graph = graph_of(&db, victim);
+    train_both(&db, &graph, &config, &mut cache, "shrunk");
+    assert!(!cache.contains(gone), "evicted entry for removed entity");
+    assert_eq!(cache.len(), spokes.len(), "cache bounded to the live index");
+}
+
+/// Any config change flushes the cache: the next run is a full refit.
+#[test]
+fn config_change_flushes_cache() {
+    let (db, victim, spokes) = directed_hub(3);
+    let graph = graph_of(&db, victim);
+    let mut config = MurphyConfig::fast();
+    let mut cache = TrainingCache::new();
+    train_both(&db, &graph, &config, &mut cache, "cold");
+
+    config.feature_budget += 1;
+    let flipped = train_both(&db, &graph, &config, &mut cache, "config flip");
+    assert_eq!(flipped.train_stats.factors_reused, 0);
+    assert_eq!(flipped.train_stats.factors_refit, spokes.len() + 1);
+}

@@ -10,8 +10,8 @@
 
 use murphy_baselines::{DiagnosisScheme, MurphyScheme, SchemeContext};
 use murphy_core::diagnose::{diagnose_batch, diagnose_symptom};
-use murphy_core::training::{train_mrf, TrainingWindow};
-use murphy_core::{evaluate_candidate, MurphyConfig, Symptom};
+use murphy_core::training::{train_mrf, train_mrf_cached, TrainingWindow};
+use murphy_core::{evaluate_candidate, MurphyConfig, Symptom, TrainingCache};
 use murphy_graph::{build_from_seeds, prune_candidates, BuildOptions};
 use murphy_sim::enterprise::{generate, EnterpriseConfig};
 use murphy_telemetry::{MetricKind, MetricSample, MonitoringDb};
@@ -196,6 +196,115 @@ pub fn run_batch(app_counts: &[usize], murphy: MurphyConfig) -> Vec<BatchPerfPoi
         .collect()
 }
 
+/// Wall-clock comparison of full retraining against the fingerprint-keyed
+/// incremental path at one estate size: a cold cache (every factor fit),
+/// the warm steady state (same window retrained, everything reused), and
+/// a 10%-dirty run (a tenth of the metrics overwritten in-window, so only
+/// the touched factors and their downstream readers refit).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainIncrementalPoint {
+    /// Entities in the relationship graph (N).
+    pub entities: usize,
+    /// Metrics in the model index.
+    pub metrics: usize,
+    /// Metrics overwritten for the dirty run (~10% of the index).
+    pub dirty_metrics: usize,
+    /// Legacy `train_mrf` (no cache) wall time, ms — the baseline.
+    pub full_ms: f64,
+    /// `train_mrf_cached` on an empty cache, ms (pays fingerprinting on
+    /// top of every fit).
+    pub cold_ms: f64,
+    /// Warm rerun at the same window, ms (fingerprint + lookup only).
+    pub warm_ms: f64,
+    /// Rerun after dirtying ~10% of the metrics, ms.
+    pub dirty_ms: f64,
+    /// Factors fit by the cold run (= the full model's factor count).
+    pub cold_refit: usize,
+    /// Factors fit by the warm rerun (0 in steady state).
+    pub warm_refit: usize,
+    /// Factors reused by the warm rerun.
+    pub warm_reused: usize,
+    /// Factors refit after the dirty write (touched targets + readers).
+    pub dirty_refit: usize,
+    /// Factors still reused after the dirty write.
+    pub dirty_reused: usize,
+}
+
+/// Measure incremental-training cost across enterprise sizes.
+///
+/// Each estate trains four ways on the *same* window: the legacy full
+/// refit, a cold cache, a warm rerun, and a rerun after overwriting every
+/// tenth metric at the latest tick (an in-window correction, no clock
+/// advance). The cached model is bit-identical to the full one in all
+/// three cases — parity is pinned by the core test suite; this only
+/// measures the cost.
+pub fn run_train_incremental(
+    app_counts: &[usize],
+    murphy: MurphyConfig,
+) -> Vec<TrainIncrementalPoint> {
+    app_counts
+        .iter()
+        .map(|&apps| {
+            let config = EnterpriseConfig {
+                num_apps: apps,
+                ..EnterpriseConfig::small(17)
+            };
+            let enterprise = generate(&config);
+            let mut db = enterprise.db;
+            let seeds: Vec<_> = enterprise
+                .apps
+                .iter()
+                .flat_map(|a| db.application_members(&a.name))
+                .collect();
+            let graph = build_from_seeds(&db, &seeds, BuildOptions::four_hops());
+            let window = TrainingWindow::online(&db, murphy.n_train);
+            let tick = db.latest_tick();
+
+            let t0 = Instant::now();
+            let full = train_mrf(&db, &graph, &murphy, window, tick);
+            let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let mut cache = TrainingCache::new();
+            let t1 = Instant::now();
+            let cold = train_mrf_cached(&db, &graph, &murphy, window, tick, &mut cache);
+            let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            let t2 = Instant::now();
+            let warm = train_mrf_cached(&db, &graph, &murphy, window, tick, &mut cache);
+            let warm_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            // Dirty ~10% of the indexed metrics in place: overwrite their
+            // latest-tick value (in-window) without advancing the clock.
+            let ids: Vec<_> = full.index.ids().to_vec();
+            let step = 10;
+            let mut dirty_metrics = 0usize;
+            for m in ids.iter().step_by(step) {
+                let v = db.value_at(*m, tick);
+                db.record(m.entity, m.kind, tick, v + 1.5);
+                dirty_metrics += 1;
+            }
+            let t3 = Instant::now();
+            let dirty = train_mrf_cached(&db, &graph, &murphy, window, tick, &mut cache);
+            let dirty_ms = t3.elapsed().as_secs_f64() * 1e3;
+
+            TrainIncrementalPoint {
+                entities: graph.node_count(),
+                metrics: full.index.len(),
+                dirty_metrics,
+                full_ms,
+                cold_ms,
+                warm_ms,
+                dirty_ms,
+                cold_refit: cold.train_stats.factors_refit,
+                warm_refit: warm.train_stats.factors_refit,
+                warm_reused: warm.train_stats.factors_reused,
+                dirty_refit: dirty.train_stats.factors_refit,
+                dirty_reused: dirty.train_stats.factors_reused,
+            }
+        })
+        .collect()
+}
+
 /// Wall-clock comparison of telemetry ingestion and training-window
 /// scans at a given shard count: the legacy per-`record` loop versus the
 /// sharded `record_batch` bulk path, plus the fanned-out
@@ -360,6 +469,26 @@ mod tests {
         // Both symptoms share one entity, so the second one's candidates
         // are fully prepared already: the cache must see some traffic.
         assert!(p.plans_built > 0, "batch built no plans: {p:?}");
+    }
+
+    #[test]
+    fn incremental_points_show_reuse() {
+        let points = run_train_incremental(&[1], MurphyConfig::fast().with_num_samples(30));
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert!(p.entities > 0 && p.metrics > 0);
+        assert!(p.full_ms > 0.0 && p.cold_ms > 0.0 && p.warm_ms > 0.0 && p.dirty_ms > 0.0);
+        // Cold cache: everything fit, nothing reused yet.
+        assert!(p.cold_refit > 0);
+        // Warm steady state: the whole model comes from the cache.
+        assert_eq!(p.warm_refit, 0, "{p:?}");
+        assert!(p.warm_reused > 0, "{p:?}");
+        assert_eq!(p.warm_refit + p.warm_reused, p.cold_refit);
+        // Dirty run: the touched metrics force refits, but untouched
+        // factors still come from the cache.
+        assert!(p.dirty_metrics > 0);
+        assert!(p.dirty_refit > 0, "{p:?}");
+        assert!(p.dirty_reused > 0, "{p:?}");
     }
 
     #[test]

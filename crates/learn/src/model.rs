@@ -99,12 +99,48 @@ impl ModelKind {
             ModelKind::Mlp => Ok(Box::new(Mlp::fit(xs, ys, &Default::default(), seed)?)),
         }
     }
+
+    /// [`ModelKind::fit`] from a row-major flat buffer of `ys.len()` rows ×
+    /// `width` features. Ridge (the default family, and the hot path) fits
+    /// straight off the buffer; the other families materialize rows once.
+    /// Either way the fitted model is bit-identical to `fit` on the
+    /// equivalent nested rows.
+    pub fn fit_flat(
+        self,
+        flat: &[f64],
+        width: usize,
+        ys: &[f64],
+        seed: u64,
+    ) -> Result<Box<dyn Regressor>, FitError> {
+        validate_flat(flat, width, ys)?;
+        match self {
+            ModelKind::Ridge => Ok(Box::new(Ridge::fit_flat(flat, width, ys, Ridge::DEFAULT_LAMBDA)?)),
+            other => {
+                let rows: Vec<Vec<f64>> = if width == 0 {
+                    vec![Vec::new(); ys.len()]
+                } else {
+                    flat.chunks_exact(width).map(<[f64]>::to_vec).collect()
+                };
+                other.fit(&rows, ys, seed)
+            }
+        }
+    }
 }
 
 impl fmt::Display for ModelKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
     }
+}
+
+pub(crate) fn validate_flat(flat: &[f64], width: usize, ys: &[f64]) -> Result<(), FitError> {
+    if ys.is_empty() {
+        return Err(FitError::EmptyTrainingSet);
+    }
+    if flat.len() != width * ys.len() {
+        return Err(FitError::DimensionMismatch);
+    }
+    Ok(())
 }
 
 pub(crate) fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<(), FitError> {
@@ -146,6 +182,42 @@ impl TrainedModel {
             abs += e.abs();
         }
         let n = xs.len() as f64;
+        Ok(Self {
+            regressor,
+            residual_std: (sq / n).sqrt(),
+            train_mae: abs / n,
+        })
+    }
+
+    /// [`TrainedModel::fit`] from a row-major flat buffer (see
+    /// [`ModelKind::fit_flat`]). The residual accumulation visits rows in
+    /// the same order with the same operations, so the result — regressor,
+    /// `residual_std`, and `train_mae` — is bit-identical to the
+    /// nested-rows path.
+    pub fn fit_flat(
+        kind: ModelKind,
+        flat: &[f64],
+        width: usize,
+        ys: &[f64],
+        seed: u64,
+    ) -> Result<Self, FitError> {
+        let regressor = kind.fit_flat(flat, width, ys, seed)?;
+        let mut sq = 0.0;
+        let mut abs = 0.0;
+        if width == 0 {
+            for &y in ys {
+                let e = regressor.predict(&[]) - y;
+                sq += e * e;
+                abs += e.abs();
+            }
+        } else {
+            for (x, &y) in flat.chunks_exact(width).zip(ys) {
+                let e = regressor.predict(x) - y;
+                sq += e * e;
+                abs += e.abs();
+            }
+        }
+        let n = ys.len() as f64;
         Ok(Self {
             regressor,
             residual_std: (sq / n).sqrt(),

@@ -24,7 +24,7 @@
 //! for the [`Ridge::predict_standardized`] reference path.
 
 use crate::linalg::{solve_spd, Matrix};
-use crate::model::{validate, FitError, Regressor};
+use crate::model::{validate, validate_flat, FitError, Regressor};
 use serde::{Deserialize, Serialize};
 
 /// A fitted ridge regression model.
@@ -52,12 +52,35 @@ impl Ridge {
     /// Fit on rows `xs` and targets `ys` with regularization `lambda`.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Self, FitError> {
         validate(xs, ys)?;
-        let n = xs.len();
-        let d = xs[0].len();
+        Self::fit_rows(xs.iter().map(Vec::as_slice), xs[0].len(), ys, lambda)
+    }
+
+    /// Fit from a row-major flat buffer of `ys.len()` rows × `width`
+    /// features. Runs the same operations in the same order as
+    /// [`Ridge::fit`] on the equivalent nested rows, so the fitted model
+    /// is bit-identical (pinned by `crates/learn/tests/flat_parity.rs`).
+    pub fn fit_flat(flat: &[f64], width: usize, ys: &[f64], lambda: f64) -> Result<Self, FitError> {
+        validate_flat(flat, width, ys)?;
+        if width == 0 {
+            // `chunks_exact(0)` panics; a zero-feature fit is just the
+            // target mean over `ys.len()` empty rows.
+            const EMPTY: &[f64] = &[];
+            return Self::fit_rows(std::iter::repeat_n(EMPTY, ys.len()), 0, ys, lambda);
+        }
+        Self::fit_rows(flat.chunks_exact(width), width, ys, lambda)
+    }
+
+    /// The shared fit over any clonable row iterator — both entry points
+    /// feed this, so there is exactly one numeric path to keep bit-stable.
+    fn fit_rows<'a, I>(rows: I, d: usize, ys: &[f64], lambda: f64) -> Result<Self, FitError>
+    where
+        I: Iterator<Item = &'a [f64]> + Clone,
+    {
+        let n = ys.len();
 
         // Standardize features; center target.
         let mut feature_means = vec![0.0; d];
-        for row in xs {
+        for row in rows.clone() {
             for (m, &v) in feature_means.iter_mut().zip(row) {
                 *m += v;
             }
@@ -66,7 +89,7 @@ impl Ridge {
             *m /= n as f64;
         }
         let mut feature_stds = vec![0.0; d];
-        for row in xs {
+        for row in rows.clone() {
             for j in 0..d {
                 let dlt = row[j] - feature_means[j];
                 feature_stds[j] += dlt * dlt;
@@ -80,8 +103,7 @@ impl Ridge {
         }
         let intercept = ys.iter().sum::<f64>() / n as f64;
 
-        let std_rows: Vec<Vec<f64>> = xs
-            .iter()
+        let std_rows: Vec<Vec<f64>> = rows
             .map(|row| {
                 row.iter()
                     .enumerate()

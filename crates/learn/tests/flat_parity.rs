@@ -1,0 +1,93 @@
+//! Flat-buffer fit parity: `TrainedModel::fit_flat` on a row-major buffer
+//! must be **bit-identical** to `TrainedModel::fit` on the equivalent
+//! nested rows, for every model family. The MRF trainer assembles its
+//! training matrices into one reused flat buffer per worker; these tests
+//! are what make that purely an allocation optimization.
+
+use murphy_learn::{ModelKind, Ridge, TrainedModel};
+
+/// Deterministic pseudo-random-ish training data with mild nonlinearity
+/// so no family fits it exactly.
+fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 7 + j * 13) % 23) as f64 * 0.5 + ((i + j) % 5) as f64)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let lin: f64 = r.iter().enumerate().map(|(j, &v)| (j as f64 + 1.0) * 0.3 * v).sum();
+            lin + ((i % 11) as f64 * 0.7).sin()
+        })
+        .collect();
+    let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+    (xs, ys, flat)
+}
+
+fn assert_models_bit_identical(nested: &TrainedModel, flat: &TrainedModel, probes: &[Vec<f64>]) {
+    assert_eq!(nested.residual_std.to_bits(), flat.residual_std.to_bits());
+    assert_eq!(nested.train_mae.to_bits(), flat.train_mae.to_bits());
+    assert_eq!(nested.num_features(), flat.num_features());
+    for p in probes {
+        assert_eq!(
+            nested.predict(p).to_bits(),
+            flat.predict(p).to_bits(),
+            "prediction differs at probe {p:?}"
+        );
+    }
+}
+
+#[test]
+fn every_family_is_bit_identical_on_flat_input() {
+    let (xs, ys, flat) = data(60, 4);
+    let probes: Vec<Vec<f64>> = vec![
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![1.5, -2.0, 3.25, 0.125],
+        xs[17].clone(),
+    ];
+    for kind in ModelKind::ALL {
+        let nested = TrainedModel::fit(kind, &xs, &ys, 42).unwrap();
+        let flat_fit = TrainedModel::fit_flat(kind, &flat, 4, &ys, 42).unwrap();
+        assert_models_bit_identical(&nested, &flat_fit, &probes);
+    }
+}
+
+#[test]
+fn ridge_parameters_are_bit_identical() {
+    let (xs, ys, flat) = data(50, 3);
+    let nested = Ridge::fit(&xs, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+    let flat_fit = Ridge::fit_flat(&flat, 3, &ys, Ridge::DEFAULT_LAMBDA).unwrap();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(nested.weights()), bits(flat_fit.weights()));
+    assert_eq!(bits(nested.fused_weights()), bits(flat_fit.fused_weights()));
+    assert_eq!(bits(nested.feature_means()), bits(flat_fit.feature_means()));
+    assert_eq!(bits(nested.feature_stds()), bits(flat_fit.feature_stds()));
+    assert_eq!(nested.intercept().to_bits(), flat_fit.intercept().to_bits());
+    assert_eq!(
+        nested.fused_intercept().to_bits(),
+        flat_fit.fused_intercept().to_bits()
+    );
+}
+
+#[test]
+fn zero_width_fit_matches_nested_empty_rows() {
+    let ys: Vec<f64> = (0..12).map(|i| i as f64 * 1.25).collect();
+    let nested_rows: Vec<Vec<f64>> = vec![Vec::new(); ys.len()];
+    for kind in [ModelKind::Ridge, ModelKind::Svr] {
+        let nested = TrainedModel::fit(kind, &nested_rows, &ys, 7).unwrap();
+        let flat = TrainedModel::fit_flat(kind, &[], 0, &ys, 7).unwrap();
+        assert_models_bit_identical(&nested, &flat, &[Vec::new()]);
+    }
+}
+
+#[test]
+fn flat_validation_errors() {
+    // Empty target set.
+    assert!(TrainedModel::fit_flat(ModelKind::Ridge, &[], 2, &[], 0).is_err());
+    // Buffer length not a multiple of width × rows.
+    assert!(TrainedModel::fit_flat(ModelKind::Ridge, &[1.0, 2.0, 3.0], 2, &[1.0, 2.0], 0).is_err());
+}

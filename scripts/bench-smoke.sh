@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Fast-scale perf smoke: times online training + per-symptom diagnosis —
-# including the legacy-vs-memoized-vs-batch comparison and the sharded
+# including the legacy-vs-memoized-vs-batch comparison, the sharded
 # ingestion series (per-record loop vs record_batch at 1/2/4/8 shards,
-# plus the fanned-out training-window scan) — and appends one record to
-# BENCH_perf.json at the repo root.
+# plus the fanned-out training-window scan), and the incremental-training
+# series (full retrain vs fingerprint-keyed cache: cold / warm / 10%
+# dirty) — and appends one record to BENCH_perf.json at the repo root.
 #
 # Usage: scripts/bench-smoke.sh [--scale fast|default|paper]
 # Compare runs with: jq '.[] | {scale, threads, train_ms, diagnose_ms}' BENCH_perf.json
 # Batch series:      jq '.[-1].diagnose_batch' BENCH_perf.json
 # Ingest series:     jq '.[-1].ingest' BENCH_perf.json
 # Window scans:      jq '.[-1].train_window_scan' BENCH_perf.json
+# Incremental train: jq '.[-1].train_incremental' BENCH_perf.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -3,14 +3,17 @@
 #
 # Usage: scripts/tier1.sh
 #
-# The test suite runs under a thread × shard matrix — MURPHY_THREADS
-# ∈ {1, 4} crossed with MURPHY_SHARDS ∈ {1, 4} — because both knobs are
-# fixed per process (the pool's thread count is sized once from the
-# environment; env-constructed databases read MURPHY_SHARDS at creation):
-# only separate processes can pin that the global-pool and default-shard
-# paths behave identically at every setting. In-process variation is
-# covered by crates/core/tests/determinism.rs (explicit WorkerPool
-# instances, explicit with_shards counts) and
+# The test suite runs under a thread × shard × train-cache matrix —
+# MURPHY_THREADS ∈ {1, 4} × MURPHY_SHARDS ∈ {1, 4} ×
+# MURPHY_TRAIN_CACHE ∈ {0, 1} — because all three knobs are fixed per
+# process (the pool's thread count is sized once from the environment;
+# env-constructed databases read MURPHY_SHARDS at creation; the `Murphy`
+# facade gates its held training cache on MURPHY_TRAIN_CACHE): only
+# separate processes can pin that the global-pool, default-shard, and
+# legacy-full-refit paths behave identically at every setting.
+# In-process variation is covered by crates/core/tests/determinism.rs
+# (explicit WorkerPool instances, explicit with_shards counts),
+# crates/core/tests/train_cache_parity.rs (cached vs cold training), and
 # crates/telemetry/tests/shard_parity.rs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,8 +22,10 @@ cargo build --release
 
 for threads in 1 4; do
   for shards in 1 4; do
-    echo "tier1: test suite with MURPHY_THREADS=$threads MURPHY_SHARDS=$shards"
-    MURPHY_THREADS=$threads MURPHY_SHARDS=$shards cargo test -q
+    for cache in 0 1; do
+      echo "tier1: test suite with MURPHY_THREADS=$threads MURPHY_SHARDS=$shards MURPHY_TRAIN_CACHE=$cache"
+      MURPHY_THREADS=$threads MURPHY_SHARDS=$shards MURPHY_TRAIN_CACHE=$cache cargo test -q
+    done
   done
 done
 
