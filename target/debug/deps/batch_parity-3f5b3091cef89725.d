@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_parity-3f5b3091cef89725.d: crates/core/tests/batch_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_parity-3f5b3091cef89725.rmeta: crates/core/tests/batch_parity.rs Cargo.toml
+
+crates/core/tests/batch_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

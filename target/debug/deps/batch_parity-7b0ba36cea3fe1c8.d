@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_parity-7b0ba36cea3fe1c8.d: crates/core/tests/batch_parity.rs
+
+/root/repo/target/debug/deps/batch_parity-7b0ba36cea3fe1c8: crates/core/tests/batch_parity.rs
+
+crates/core/tests/batch_parity.rs:

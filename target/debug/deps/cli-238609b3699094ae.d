@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-238609b3699094ae.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-238609b3699094ae: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_murphy=/root/repo/target/debug/murphy

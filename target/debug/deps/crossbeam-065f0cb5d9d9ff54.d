@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-065f0cb5d9d9ff54.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-065f0cb5d9d9ff54.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-065f0cb5d9d9ff54.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation_robustness-8aaeef659e4be62d.d: tests/degradation_robustness.rs
+
+/root/repo/target/debug/deps/degradation_robustness-8aaeef659e4be62d: tests/degradation_robustness.rs
+
+tests/degradation_robustness.rs:

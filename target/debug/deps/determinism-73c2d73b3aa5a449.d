@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-73c2d73b3aa5a449.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-73c2d73b3aa5a449: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-868d9c2aa6d48805.d: crates/core/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-868d9c2aa6d48805.rmeta: crates/core/tests/determinism.rs Cargo.toml
+
+crates/core/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_diagnosis-bd8807969eb4c47b.d: tests/end_to_end_diagnosis.rs
+
+/root/repo/target/debug/deps/end_to_end_diagnosis-bd8807969eb4c47b: tests/end_to_end_diagnosis.rs
+
+tests/end_to_end_diagnosis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flat_parity-622b734c5228fd25.d: crates/learn/tests/flat_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflat_parity-622b734c5228fd25.rmeta: crates/learn/tests/flat_parity.rs Cargo.toml
+
+crates/learn/tests/flat_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flat_parity-e4d5a6362ceb1494.d: crates/learn/tests/flat_parity.rs
+
+/root/repo/target/debug/deps/flat_parity-e4d5a6362ceb1494: crates/learn/tests/flat_parity.rs
+
+crates/learn/tests/flat_parity.rs:

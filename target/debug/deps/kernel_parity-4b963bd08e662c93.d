@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_parity-4b963bd08e662c93.d: crates/core/tests/kernel_parity.rs
+
+/root/repo/target/debug/deps/kernel_parity-4b963bd08e662c93: crates/core/tests/kernel_parity.rs
+
+crates/core/tests/kernel_parity.rs:

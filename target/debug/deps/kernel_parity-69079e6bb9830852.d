@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_parity-69079e6bb9830852.d: crates/core/tests/kernel_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_parity-69079e6bb9830852.rmeta: crates/core/tests/kernel_parity.rs Cargo.toml
+
+crates/core/tests/kernel_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/murphy-34e46809185f18f6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmurphy-34e46809185f18f6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmurphy-34e46809185f18f6.rmeta: src/lib.rs
+
+src/lib.rs:

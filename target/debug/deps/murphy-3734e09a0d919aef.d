@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/murphy-3734e09a0d919aef.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/murphy-3734e09a0d919aef: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

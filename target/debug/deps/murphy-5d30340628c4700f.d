@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/murphy-5d30340628c4700f.d: src/lib.rs
+
+/root/repo/target/debug/deps/murphy-5d30340628c4700f: src/lib.rs
+
+src/lib.rs:

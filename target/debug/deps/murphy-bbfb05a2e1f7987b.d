@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/murphy-bbfb05a2e1f7987b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/murphy-bbfb05a2e1f7987b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/murphy_baselines-9662a4dfd88baf6d.d: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+/root/repo/target/debug/deps/libmurphy_baselines-9662a4dfd88baf6d.rlib: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+/root/repo/target/debug/deps/libmurphy_baselines-9662a4dfd88baf6d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/explainit.rs:
+crates/baselines/src/netmedic.rs:
+crates/baselines/src/sage.rs:
+crates/baselines/src/scheme.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/murphy_baselines-de19c42f4b270bd2.d: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+/root/repo/target/debug/deps/libmurphy_baselines-de19c42f4b270bd2.rlib: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+/root/repo/target/debug/deps/libmurphy_baselines-de19c42f4b270bd2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/explainit.rs:
+crates/baselines/src/netmedic.rs:
+crates/baselines/src/sage.rs:
+crates/baselines/src/scheme.rs:

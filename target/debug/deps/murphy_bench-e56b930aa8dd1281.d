@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/murphy_bench-e56b930aa8dd1281.d: crates/bench/src/lib.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libmurphy_bench-e56b930aa8dd1281.rlib: crates/bench/src/lib.rs crates/bench/src/scale.rs
+
+/root/repo/target/debug/deps/libmurphy_bench-e56b930aa8dd1281.rmeta: crates/bench/src/lib.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scale.rs:

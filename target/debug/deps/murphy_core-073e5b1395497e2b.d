@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/murphy_core-073e5b1395497e2b.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/counterfactual.rs crates/core/src/diagnose.rs crates/core/src/explain.rs crates/core/src/factor.rs crates/core/src/labels.rs crates/core/src/mrf.rs crates/core/src/murphy.rs crates/core/src/pool.rs crates/core/src/ranking.rs crates/core/src/sampler.rs crates/core/src/train_cache.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libmurphy_core-073e5b1395497e2b.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/counterfactual.rs crates/core/src/diagnose.rs crates/core/src/explain.rs crates/core/src/factor.rs crates/core/src/labels.rs crates/core/src/mrf.rs crates/core/src/murphy.rs crates/core/src/pool.rs crates/core/src/ranking.rs crates/core/src/sampler.rs crates/core/src/train_cache.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/libmurphy_core-073e5b1395497e2b.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/counterfactual.rs crates/core/src/diagnose.rs crates/core/src/explain.rs crates/core/src/factor.rs crates/core/src/labels.rs crates/core/src/mrf.rs crates/core/src/murphy.rs crates/core/src/pool.rs crates/core/src/ranking.rs crates/core/src/sampler.rs crates/core/src/train_cache.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/counterfactual.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/explain.rs:
+crates/core/src/factor.rs:
+crates/core/src/labels.rs:
+crates/core/src/mrf.rs:
+crates/core/src/murphy.rs:
+crates/core/src/pool.rs:
+crates/core/src/ranking.rs:
+crates/core/src/sampler.rs:
+crates/core/src/train_cache.rs:
+crates/core/src/training.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/murphy_core-eda5fc34d7dbe3ec.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/counterfactual.rs crates/core/src/diagnose.rs crates/core/src/explain.rs crates/core/src/factor.rs crates/core/src/labels.rs crates/core/src/mrf.rs crates/core/src/murphy.rs crates/core/src/pool.rs crates/core/src/ranking.rs crates/core/src/sampler.rs crates/core/src/train_cache.rs crates/core/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_core-eda5fc34d7dbe3ec.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/counterfactual.rs crates/core/src/diagnose.rs crates/core/src/explain.rs crates/core/src/factor.rs crates/core/src/labels.rs crates/core/src/mrf.rs crates/core/src/murphy.rs crates/core/src/pool.rs crates/core/src/ranking.rs crates/core/src/sampler.rs crates/core/src/train_cache.rs crates/core/src/training.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/counterfactual.rs:
+crates/core/src/diagnose.rs:
+crates/core/src/explain.rs:
+crates/core/src/factor.rs:
+crates/core/src/labels.rs:
+crates/core/src/mrf.rs:
+crates/core/src/murphy.rs:
+crates/core/src/pool.rs:
+crates/core/src/ranking.rs:
+crates/core/src/sampler.rs:
+crates/core/src/train_cache.rs:
+crates/core/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

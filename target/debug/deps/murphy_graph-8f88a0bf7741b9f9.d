@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/murphy_graph-8f88a0bf7741b9f9.d: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+/root/repo/target/debug/deps/libmurphy_graph-8f88a0bf7741b9f9.rlib: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+/root/repo/target/debug/deps/libmurphy_graph-8f88a0bf7741b9f9.rmeta: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/build.rs:
+crates/graph/src/cycles.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/prune.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/murphy_graph-9f0152caed4a0cb7.d: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_graph-9f0152caed4a0cb7.rmeta: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/build.rs:
+crates/graph/src/cycles.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/prune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

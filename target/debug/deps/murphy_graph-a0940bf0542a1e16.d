@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/murphy_graph-a0940bf0542a1e16.d: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+/root/repo/target/debug/deps/libmurphy_graph-a0940bf0542a1e16.rlib: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+/root/repo/target/debug/deps/libmurphy_graph-a0940bf0542a1e16.rmeta: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/build.rs:
+crates/graph/src/cycles.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/prune.rs:

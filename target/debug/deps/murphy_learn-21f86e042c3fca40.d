@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/murphy_learn-21f86e042c3fca40.d: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/debug/deps/murphy_learn-21f86e042c3fca40: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+crates/learn/src/lib.rs:
+crates/learn/src/features.rs:
+crates/learn/src/gmm.rs:
+crates/learn/src/linalg.rs:
+crates/learn/src/mlp.rs:
+crates/learn/src/model.rs:
+crates/learn/src/ridge.rs:
+crates/learn/src/svr.rs:

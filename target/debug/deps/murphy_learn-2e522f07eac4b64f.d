@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/murphy_learn-2e522f07eac4b64f.d: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_learn-2e522f07eac4b64f.rmeta: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs Cargo.toml
+
+crates/learn/src/lib.rs:
+crates/learn/src/features.rs:
+crates/learn/src/gmm.rs:
+crates/learn/src/linalg.rs:
+crates/learn/src/mlp.rs:
+crates/learn/src/model.rs:
+crates/learn/src/ridge.rs:
+crates/learn/src/svr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/murphy_learn-c1e7c6b6e0d4448e.d: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/debug/deps/libmurphy_learn-c1e7c6b6e0d4448e.rlib: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/debug/deps/libmurphy_learn-c1e7c6b6e0d4448e.rmeta: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+crates/learn/src/lib.rs:
+crates/learn/src/features.rs:
+crates/learn/src/gmm.rs:
+crates/learn/src/linalg.rs:
+crates/learn/src/mlp.rs:
+crates/learn/src/model.rs:
+crates/learn/src/ridge.rs:
+crates/learn/src/svr.rs:

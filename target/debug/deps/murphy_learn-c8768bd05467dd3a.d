@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/murphy_learn-c8768bd05467dd3a.d: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/debug/deps/libmurphy_learn-c8768bd05467dd3a.rlib: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/debug/deps/libmurphy_learn-c8768bd05467dd3a.rmeta: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+crates/learn/src/lib.rs:
+crates/learn/src/features.rs:
+crates/learn/src/gmm.rs:
+crates/learn/src/linalg.rs:
+crates/learn/src/mlp.rs:
+crates/learn/src/model.rs:
+crates/learn/src/ridge.rs:
+crates/learn/src/svr.rs:

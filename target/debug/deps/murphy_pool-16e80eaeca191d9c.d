@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/murphy_pool-16e80eaeca191d9c.d: crates/pool/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_pool-16e80eaeca191d9c.rmeta: crates/pool/src/lib.rs Cargo.toml
+
+crates/pool/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

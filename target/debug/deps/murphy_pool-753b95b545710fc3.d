@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/murphy_pool-753b95b545710fc3.d: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libmurphy_pool-753b95b545710fc3.rlib: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libmurphy_pool-753b95b545710fc3.rmeta: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/murphy_pool-f1a16ca5fa505bbb.d: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libmurphy_pool-f1a16ca5fa505bbb.rlib: crates/pool/src/lib.rs
+
+/root/repo/target/debug/deps/libmurphy_pool-f1a16ca5fa505bbb.rmeta: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/murphy_sim-116d03de659113ae.d: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_sim-116d03de659113ae.rmeta: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/enterprise.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/incidents.rs:
+crates/sim/src/microservice.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/traces.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

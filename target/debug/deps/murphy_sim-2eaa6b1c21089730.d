@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/murphy_sim-2eaa6b1c21089730.d: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libmurphy_sim-2eaa6b1c21089730.rlib: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libmurphy_sim-2eaa6b1c21089730.rmeta: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/enterprise.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/incidents.rs:
+crates/sim/src/microservice.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/traces.rs:
+crates/sim/src/workload.rs:

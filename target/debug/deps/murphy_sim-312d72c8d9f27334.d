@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/murphy_sim-312d72c8d9f27334.d: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libmurphy_sim-312d72c8d9f27334.rlib: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libmurphy_sim-312d72c8d9f27334.rmeta: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/enterprise.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/incidents.rs:
+crates/sim/src/microservice.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/traces.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/murphy_stats-086ec7861f830cbe.d: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/libmurphy_stats-086ec7861f830cbe.rlib: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/libmurphy_stats-086ec7861f830cbe.rmeta: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/anomaly.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/mase.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/ttest.rs:

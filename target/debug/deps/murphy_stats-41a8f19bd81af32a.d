@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/murphy_stats-41a8f19bd81af32a.d: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_stats-41a8f19bd81af32a.rmeta: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/anomaly.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/mase.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/ttest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/murphy_stats-d29ef2d9b08eaf0c.d: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/libmurphy_stats-d29ef2d9b08eaf0c.rlib: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+/root/repo/target/debug/deps/libmurphy_stats-d29ef2d9b08eaf0c.rmeta: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/anomaly.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/mase.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/ttest.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/murphy_telemetry-107d6c7c30a202ec.d: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libmurphy_telemetry-107d6c7c30a202ec.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libmurphy_telemetry-107d6c7c30a202ec.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/association.rs:
+crates/telemetry/src/changes.rs:
+crates/telemetry/src/database.rs:
+crates/telemetry/src/degrade.rs:
+crates/telemetry/src/entity.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/shard.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/timeseries.rs:

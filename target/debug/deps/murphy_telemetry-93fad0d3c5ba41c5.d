@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/murphy_telemetry-93fad0d3c5ba41c5.d: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libmurphy_telemetry-93fad0d3c5ba41c5.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/debug/deps/libmurphy_telemetry-93fad0d3c5ba41c5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/association.rs:
+crates/telemetry/src/changes.rs:
+crates/telemetry/src/database.rs:
+crates/telemetry/src/degrade.rs:
+crates/telemetry/src/entity.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/shard.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/timeseries.rs:

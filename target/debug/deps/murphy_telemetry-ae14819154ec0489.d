@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/murphy_telemetry-ae14819154ec0489.d: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmurphy_telemetry-ae14819154ec0489.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/association.rs:
+crates/telemetry/src/changes.rs:
+crates/telemetry/src/database.rs:
+crates/telemetry/src/degrade.rs:
+crates/telemetry/src/entity.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/shard.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

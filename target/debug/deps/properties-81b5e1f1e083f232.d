@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-81b5e1f1e083f232.d: crates/learn/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-81b5e1f1e083f232.rmeta: crates/learn/tests/properties.rs Cargo.toml
+
+crates/learn/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e8f8ad8627e069e4.d: crates/learn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e8f8ad8627e069e4: crates/learn/tests/properties.rs
+
+crates/learn/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-55a9c26d7a711018.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-55a9c26d7a711018: tests/property_invariants.rs
+
+tests/property_invariants.rs:

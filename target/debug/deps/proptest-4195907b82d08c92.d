@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4195907b82d08c92.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4195907b82d08c92.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

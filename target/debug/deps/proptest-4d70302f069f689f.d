@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-4d70302f069f689f.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4d70302f069f689f.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-4d70302f069f689f.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

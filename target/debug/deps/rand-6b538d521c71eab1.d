@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-6b538d521c71eab1.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6b538d521c71eab1.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6b538d521c71eab1.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7ec833b50414c602.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7ec833b50414c602.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

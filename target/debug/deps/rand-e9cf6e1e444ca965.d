@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e9cf6e1e444ca965.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e9cf6e1e444ca965.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e9cf6e1e444ca965.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

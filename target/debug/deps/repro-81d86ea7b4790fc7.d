@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-81d86ea7b4790fc7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-81d86ea7b4790fc7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ridge_parity-071a698f29a1e170.d: crates/learn/tests/ridge_parity.rs
+
+/root/repo/target/debug/deps/ridge_parity-071a698f29a1e170: crates/learn/tests/ridge_parity.rs
+
+crates/learn/tests/ridge_parity.rs:

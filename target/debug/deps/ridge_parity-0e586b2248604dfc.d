@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ridge_parity-0e586b2248604dfc.d: crates/learn/tests/ridge_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libridge_parity-0e586b2248604dfc.rmeta: crates/learn/tests/ridge_parity.rs Cargo.toml
+
+crates/learn/tests/ridge_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-263125ff47ba9df3.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-263125ff47ba9df3.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-263125ff47ba9df3.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-8bcf97f7ce3daf23.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8bcf97f7ce3daf23.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8bcf97f7ce3daf23.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

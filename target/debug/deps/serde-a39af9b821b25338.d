@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a39af9b821b25338.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a39af9b821b25338.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

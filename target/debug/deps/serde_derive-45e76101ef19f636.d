@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-45e76101ef19f636.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-45e76101ef19f636.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

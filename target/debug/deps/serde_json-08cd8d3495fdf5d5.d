@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-08cd8d3495fdf5d5.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-08cd8d3495fdf5d5.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

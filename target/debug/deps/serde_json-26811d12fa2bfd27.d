@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-26811d12fa2bfd27.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-26811d12fa2bfd27.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-26811d12fa2bfd27.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization_round_trips-29eff27fa88bf980.d: tests/serialization_round_trips.rs
+
+/root/repo/target/debug/deps/serialization_round_trips-29eff27fa88bf980: tests/serialization_round_trips.rs
+
+tests/serialization_round_trips.rs:

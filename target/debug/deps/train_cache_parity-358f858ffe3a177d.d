@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/train_cache_parity-358f858ffe3a177d.d: crates/core/tests/train_cache_parity.rs
+
+/root/repo/target/debug/deps/train_cache_parity-358f858ffe3a177d: crates/core/tests/train_cache_parity.rs
+
+crates/core/tests/train_cache_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/train_cache_parity-b28c8ddb4788ab98.d: crates/core/tests/train_cache_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain_cache_parity-b28c8ddb4788ab98.rmeta: crates/core/tests/train_cache_parity.rs Cargo.toml
+
+crates/core/tests/train_cache_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

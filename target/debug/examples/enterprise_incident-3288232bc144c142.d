@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/enterprise_incident-3288232bc144c142.d: examples/enterprise_incident.rs
+
+/root/repo/target/debug/examples/enterprise_incident-3288232bc144c142: examples/enterprise_incident.rs
+
+examples/enterprise_incident.rs:

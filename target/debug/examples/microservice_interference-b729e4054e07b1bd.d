@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/microservice_interference-b729e4054e07b1bd.d: examples/microservice_interference.rs
+
+/root/repo/target/debug/examples/microservice_interference-b729e4054e07b1bd: examples/microservice_interference.rs
+
+examples/microservice_interference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-efc36d979abc109f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-efc36d979abc109f: examples/quickstart.rs
+
+examples/quickstart.rs:

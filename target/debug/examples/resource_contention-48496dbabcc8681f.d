@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_contention-48496dbabcc8681f.d: examples/resource_contention.rs
+
+/root/repo/target/debug/examples/resource_contention-48496dbabcc8681f: examples/resource_contention.rs
+
+examples/resource_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif-50ac1dfd99971435.d: examples/whatif.rs
+
+/root/repo/target/debug/examples/whatif-50ac1dfd99971435: examples/whatif.rs
+
+examples/whatif.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/murphy-6497e750fc18a2ae.d: src/lib.rs
+
+/root/repo/target/release/deps/libmurphy-6497e750fc18a2ae.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmurphy-6497e750fc18a2ae.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/murphy_baselines-c66e8e1de9fa13ec.d: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+/root/repo/target/release/deps/libmurphy_baselines-c66e8e1de9fa13ec.rlib: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+/root/repo/target/release/deps/libmurphy_baselines-c66e8e1de9fa13ec.rmeta: crates/baselines/src/lib.rs crates/baselines/src/explainit.rs crates/baselines/src/netmedic.rs crates/baselines/src/sage.rs crates/baselines/src/scheme.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/explainit.rs:
+crates/baselines/src/netmedic.rs:
+crates/baselines/src/sage.rs:
+crates/baselines/src/scheme.rs:

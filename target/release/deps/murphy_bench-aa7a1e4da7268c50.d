@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/murphy_bench-aa7a1e4da7268c50.d: crates/bench/src/lib.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libmurphy_bench-aa7a1e4da7268c50.rlib: crates/bench/src/lib.rs crates/bench/src/scale.rs
+
+/root/repo/target/release/deps/libmurphy_bench-aa7a1e4da7268c50.rmeta: crates/bench/src/lib.rs crates/bench/src/scale.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scale.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/murphy_experiments-a5f2a9ac0f3007f4.d: crates/experiments/src/lib.rs crates/experiments/src/accuracy.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8a.rs crates/experiments/src/fig8b.rs crates/experiments/src/perf.rs crates/experiments/src/report.rs crates/experiments/src/sensitivity.rs crates/experiments/src/schemes.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+/root/repo/target/release/deps/libmurphy_experiments-a5f2a9ac0f3007f4.rlib: crates/experiments/src/lib.rs crates/experiments/src/accuracy.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8a.rs crates/experiments/src/fig8b.rs crates/experiments/src/perf.rs crates/experiments/src/report.rs crates/experiments/src/sensitivity.rs crates/experiments/src/schemes.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+/root/repo/target/release/deps/libmurphy_experiments-a5f2a9ac0f3007f4.rmeta: crates/experiments/src/lib.rs crates/experiments/src/accuracy.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8a.rs crates/experiments/src/fig8b.rs crates/experiments/src/perf.rs crates/experiments/src/report.rs crates/experiments/src/sensitivity.rs crates/experiments/src/schemes.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/accuracy.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8a.rs:
+crates/experiments/src/fig8b.rs:
+crates/experiments/src/perf.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/sensitivity.rs:
+crates/experiments/src/schemes.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:

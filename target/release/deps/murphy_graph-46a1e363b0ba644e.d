@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/murphy_graph-46a1e363b0ba644e.d: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+/root/repo/target/release/deps/libmurphy_graph-46a1e363b0ba644e.rlib: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+/root/repo/target/release/deps/libmurphy_graph-46a1e363b0ba644e.rmeta: crates/graph/src/lib.rs crates/graph/src/build.rs crates/graph/src/cycles.rs crates/graph/src/graph.rs crates/graph/src/paths.rs crates/graph/src/prune.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/build.rs:
+crates/graph/src/cycles.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/paths.rs:
+crates/graph/src/prune.rs:

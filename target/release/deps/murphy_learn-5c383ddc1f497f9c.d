@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/murphy_learn-5c383ddc1f497f9c.d: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/release/deps/libmurphy_learn-5c383ddc1f497f9c.rlib: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+/root/repo/target/release/deps/libmurphy_learn-5c383ddc1f497f9c.rmeta: crates/learn/src/lib.rs crates/learn/src/features.rs crates/learn/src/gmm.rs crates/learn/src/linalg.rs crates/learn/src/mlp.rs crates/learn/src/model.rs crates/learn/src/ridge.rs crates/learn/src/svr.rs
+
+crates/learn/src/lib.rs:
+crates/learn/src/features.rs:
+crates/learn/src/gmm.rs:
+crates/learn/src/linalg.rs:
+crates/learn/src/mlp.rs:
+crates/learn/src/model.rs:
+crates/learn/src/ridge.rs:
+crates/learn/src/svr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/murphy_pool-77f86bd4d20fee72.d: crates/pool/src/lib.rs
+
+/root/repo/target/release/deps/libmurphy_pool-77f86bd4d20fee72.rlib: crates/pool/src/lib.rs
+
+/root/repo/target/release/deps/libmurphy_pool-77f86bd4d20fee72.rmeta: crates/pool/src/lib.rs
+
+crates/pool/src/lib.rs:

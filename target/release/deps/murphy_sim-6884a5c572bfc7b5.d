@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/murphy_sim-6884a5c572bfc7b5.d: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libmurphy_sim-6884a5c572bfc7b5.rlib: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libmurphy_sim-6884a5c572bfc7b5.rmeta: crates/sim/src/lib.rs crates/sim/src/enterprise.rs crates/sim/src/faults.rs crates/sim/src/incidents.rs crates/sim/src/microservice.rs crates/sim/src/scenario.rs crates/sim/src/traces.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/enterprise.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/incidents.rs:
+crates/sim/src/microservice.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/traces.rs:
+crates/sim/src/workload.rs:

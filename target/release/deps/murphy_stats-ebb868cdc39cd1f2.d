@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/murphy_stats-ebb868cdc39cd1f2.d: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+/root/repo/target/release/deps/libmurphy_stats-ebb868cdc39cd1f2.rlib: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+/root/repo/target/release/deps/libmurphy_stats-ebb868cdc39cd1f2.rmeta: crates/stats/src/lib.rs crates/stats/src/anomaly.rs crates/stats/src/cdf.rs crates/stats/src/correlation.rs crates/stats/src/mase.rs crates/stats/src/summary.rs crates/stats/src/ttest.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/anomaly.rs:
+crates/stats/src/cdf.rs:
+crates/stats/src/correlation.rs:
+crates/stats/src/mase.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/ttest.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/murphy_telemetry-58700e4c9eb6f336.d: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/release/deps/libmurphy_telemetry-58700e4c9eb6f336.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+/root/repo/target/release/deps/libmurphy_telemetry-58700e4c9eb6f336.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/association.rs crates/telemetry/src/changes.rs crates/telemetry/src/database.rs crates/telemetry/src/degrade.rs crates/telemetry/src/entity.rs crates/telemetry/src/metric.rs crates/telemetry/src/shard.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/timeseries.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/association.rs:
+crates/telemetry/src/changes.rs:
+crates/telemetry/src/database.rs:
+crates/telemetry/src/degrade.rs:
+crates/telemetry/src/entity.rs:
+crates/telemetry/src/metric.rs:
+crates/telemetry/src/shard.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/timeseries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-bd17e06d11a0c147.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-bd17e06d11a0c147: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-605642600f160efd.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-605642600f160efd.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-605642600f160efd.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4332322d7732ddd0.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4332322d7732ddd0.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

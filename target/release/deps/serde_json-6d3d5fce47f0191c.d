@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-6d3d5fce47f0191c.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-6d3d5fce47f0191c.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-6d3d5fce47f0191c.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:
